@@ -1,0 +1,41 @@
+# gpuddt — build/test/benchmark entry points (stdlib-only Go, no deps)
+
+GO ?= go
+
+.PHONY: all test race bench figures examples tools clean
+
+all: test
+
+test:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure (writes to stdout; ~3 minutes).
+figures:
+	$(GO) run ./cmd/ddtbench
+
+# Run every example end to end (each verifies its own bytes).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil2d
+	$(GO) run ./examples/particles
+	$(GO) run ./examples/transpose
+	$(GO) run ./examples/fftreshape
+	$(GO) run ./examples/dtranspose
+	$(GO) run ./examples/onesided
+
+tools:
+	$(GO) build -o bin/ddtbench ./cmd/ddtbench
+	$(GO) build -o bin/pingpong ./cmd/pingpong
+	$(GO) build -o bin/kernels ./cmd/kernels
+	$(GO) build -o bin/topo ./cmd/topo
+
+clean:
+	rm -rf bin

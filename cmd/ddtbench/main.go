@@ -1,0 +1,116 @@
+// Command ddtbench regenerates the paper's evaluation figures on the
+// simulated substrate and prints each as an aligned table.
+//
+// Usage:
+//
+//	ddtbench                  # every figure at the default sweep
+//	ddtbench -figure fig10b   # one figure
+//	ddtbench -quick           # smaller sweeps (CI-friendly)
+//	ddtbench -sizes 1024,4096 # explicit matrix sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpuddt/internal/bench"
+)
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ddtbench: bad size %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: fig1, fig6..fig12 (a/b/c for fig10), sec5.3, sec5.4, apps, whatif-gpu, ablations, all")
+	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
+	quick := flag.Bool("quick", false, "small sweeps for a fast smoke run")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	emit := func(f *bench.Figure) {
+		if *csv {
+			f.PrintCSV(os.Stdout)
+		} else {
+			f.Print(os.Stdout)
+		}
+	}
+
+	sizes := bench.DefaultSizes
+	ppSizes := bench.DefaultSizes
+	trSizes := []int{512, 1024, 2048}
+	blockCounts := []int64{1024, 8192}
+	if *quick {
+		sizes = []int{1024, 2048}
+		ppSizes = []int{1024, 2048}
+		trSizes = []int{256, 512}
+		blockCounts = []int64{1024}
+	}
+	if *sizesFlag != "" {
+		sizes = parseSizes(*sizesFlag)
+		ppSizes = sizes
+		trSizes = sizes
+	}
+
+	runners := []struct {
+		id string
+		fn func() *bench.Figure
+	}{
+		{"fig1", func() *bench.Figure { return bench.Fig1Solutions(trSizes) }},
+		{"fig6", func() *bench.Figure { return bench.Fig6(sizes) }},
+		{"fig7", func() *bench.Figure { return bench.Fig7(sizes) }},
+		{"fig8", func() *bench.Figure { return bench.Fig8(blockCounts, bench.Fig8BlockSizes) }},
+		{"fig9", func() *bench.Figure { return bench.Fig9(ppSizes) }},
+		{"fig10a", func() *bench.Figure { return bench.Fig10(bench.OneGPU, ppSizes) }},
+		{"fig10b", func() *bench.Figure { return bench.Fig10(bench.TwoGPU, ppSizes) }},
+		{"fig10c", func() *bench.Figure { return bench.Fig10(bench.TwoNode, ppSizes) }},
+		{"fig11", func() *bench.Figure { return bench.Fig11(ppSizes) }},
+		{"fig12", func() *bench.Figure { return bench.Fig12(trSizes) }},
+		{"sec5.3", func() *bench.Figure { return bench.Sec53(2048, []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 30}) }},
+		{"sec5.4", func() *bench.Figure { return bench.Sec54(2048, []float64{0, 0.25, 0.5, 0.75, 0.9}) }},
+		{"apps", func() *bench.Figure { return bench.Apps() }},
+		{"whatif-gpu", func() *bench.Figure { return bench.WhatIfGPU(4096) }},
+		{"ablations", nil}, // expanded below
+	}
+
+	ablations := []func() *bench.Figure{
+		func() *bench.Figure { return bench.AblationUnitSize(2048, []int64{256, 512, 1024, 2048, 4096}) },
+		func() *bench.Figure {
+			return bench.AblationPipeline(2048, []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20})
+		},
+		func() *bench.Figure { return bench.AblationRemoteUnpack(ppSizes) },
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *figure != "all" && *figure != r.id {
+			continue
+		}
+		ran = true
+		if r.id == "ablations" {
+			for _, fn := range ablations {
+				emit(fn())
+			}
+			continue
+		}
+		emit(r.fn())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ddtbench: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,49 @@
+// Command kernels runs the kernel-level microbenchmarks (Figs. 6-8 and
+// the CUDA-DEV unit-size ablation) without the MPI runtime.
+//
+// Example:
+//
+//	kernels -bench fig6 -sizes 2048,4096,8192
+//	kernels -bench unitsize -n 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpuddt/internal/bench"
+)
+
+func main() {
+	which := flag.String("bench", "fig6", "fig6, fig7, fig8, unitsize")
+	sizesFlag := flag.String("sizes", "1024,2048,4096,8192", "matrix sizes")
+	n := flag.Int("n", 2048, "matrix size for the unit-size ablation")
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*sizesFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernels: bad size %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+
+	switch *which {
+	case "fig6":
+		bench.Fig6(sizes).Print(os.Stdout)
+	case "fig7":
+		bench.Fig7(sizes).Print(os.Stdout)
+	case "fig8":
+		bench.Fig8([]int64{1024, 8192}, bench.Fig8BlockSizes).Print(os.Stdout)
+	case "unitsize":
+		bench.AblationUnitSize(*n, []int64{256, 512, 1024, 2048, 4096}).Print(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "kernels: unknown bench %q\n", *which)
+		os.Exit(2)
+	}
+}

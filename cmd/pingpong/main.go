@@ -1,0 +1,113 @@
+// Command pingpong runs one configurable GPU-datatype ping-pong on the
+// simulated cluster and reports latency and achieved bandwidth.
+//
+// Example:
+//
+//	pingpong -topo 2gpu -type triangular -n 4096 -iters 5
+//	pingpong -topo ib -type vector -n 8192 -impl mvapich
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuddt/internal/baseline"
+	"gpuddt/internal/bench"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+func main() {
+	topoFlag := flag.String("topo", "2gpu", "topology: 1gpu, 2gpu, ib")
+	typeFlag := flag.String("type", "vector", "datatype: vector, triangular, contiguous, transpose, vec2contig")
+	n := flag.Int("n", 4096, "matrix size N (N x N doubles)")
+	iters := flag.Int("iters", 5, "measured iterations")
+	impl := flag.String("impl", "ours", "implementation: ours, mvapich")
+	frag := flag.Int64("frag", 0, "pipeline fragment bytes (0 = default 1 MiB)")
+	depth := flag.Int("depth", 0, "pipeline depth (0 = default 4)")
+	host := flag.Bool("host", false, "place the data in host memory (CPU datatype engine)")
+	blocks := flag.Int("blocks", 0, "restrict pack/unpack kernels to this many CUDA blocks")
+	direct := flag.Bool("direct-unpack", false, "unpack directly from remote GPU memory (no staging)")
+	verbose := flag.Bool("verbose", false, "print a link-utilization report after the run")
+	flag.Parse()
+
+	var topo bench.Topology
+	switch *topoFlag {
+	case "1gpu":
+		topo = bench.OneGPU
+	case "2gpu":
+		topo = bench.TwoGPU
+	case "ib":
+		topo = bench.TwoNode
+	default:
+		fmt.Fprintf(os.Stderr, "pingpong: unknown topology %q\n", *topoFlag)
+		os.Exit(2)
+	}
+
+	var dt0, dt1 *datatype.Datatype
+	switch *typeFlag {
+	case "vector":
+		dt0 = shapes.SubMatrix(*n, *n, *n+32)
+	case "triangular":
+		dt0 = shapes.LowerTriangular(*n)
+	case "contiguous":
+		dt0 = shapes.FullMatrix(*n)
+	case "transpose":
+		dt0 = shapes.Transpose(*n)
+		dt1 = shapes.FullMatrix(*n)
+	case "vec2contig":
+		dt0 = shapes.SubMatrix(*n, *n, *n+32)
+		dt1 = shapes.FullMatrix(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "pingpong: unknown type %q\n", *typeFlag)
+		os.Exit(2)
+	}
+
+	var strategy mpi.Strategy
+	if *impl == "mvapich" {
+		strategy = &baseline.MVAPICHStrategy{}
+	} else if *impl != "ours" {
+		fmt.Fprintf(os.Stderr, "pingpong: unknown impl %q\n", *impl)
+		os.Exit(2)
+	}
+
+	spec := bench.PingPongSpec{
+		Topo:     topo,
+		Dt0:      dt0,
+		Dt1:      dt1,
+		Count:    1,
+		OnHost:   *host,
+		Iters:    *iters,
+		Strategy: strategy,
+		Proto: mpi.ProtoOptions{
+			FragBytes:          *frag,
+			PipelineDepth:      *depth,
+			DirectRemoteUnpack: *direct,
+		},
+		BlockCap: *blocks,
+	}
+	if *verbose {
+		spec.Trace = os.Stderr
+	}
+	rt := bench.PingPong(spec)
+	fmt.Printf("topology=%s type=%s N=%d impl=%s packed=%s\n",
+		topo, *typeFlag, *n, *impl, fmtBytes(dt0.Size()))
+	fmt.Printf("round-trip: %v   one-way: %v   bandwidth: %.2f GB/s\n",
+		rt, rt/2, sim.GBps(dt0.Size(), rt/2))
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

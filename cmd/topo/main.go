@@ -1,0 +1,57 @@
+// Command topo prints the simulated cluster's hardware calibration: the
+// GPU profile, PCIe topology and InfiniBand fabric parameters that every
+// benchmark runs against, with the paper-reported numbers they are
+// calibrated to.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/ib"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/sim"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 2, "GPUs per node")
+	nodes := flag.Int("nodes", 2, "nodes in the cluster")
+	flag.Parse()
+
+	g := gpu.KeplerK40()
+	p := pcie.DefaultParams()
+	f := ib.DefaultParams()
+
+	fmt.Printf("Simulated cluster: %d node(s) x %d %s GPU(s)\n\n", *nodes, *gpus, g.Name)
+
+	fmt.Printf("GPU (%s):\n", g.Name)
+	fmt.Printf("  SMs                      %d (default grid %d blocks)\n", g.SMCount, g.DefaultBlocks)
+	fmt.Printf("  raw DRAM bandwidth       %.0f GB/s (cudaMemcpy D2D ~%.0f GB/s effective)\n",
+		g.DRAMRawGBps, g.DRAMRawGBps/2*g.MemcpyD2DEff)
+	fmt.Printf("  per-block raw rate       %.0f GB/s\n", g.PerBlockRawGBps)
+	fmt.Printf("  kernel launch            %v, memcpy call %v\n", g.KernelLaunch, g.MemcpyOverhead)
+	fmt.Printf("  vector kernel eff        %.0f%% of peak (paper: 94%%)\n", 100*g.VectorKernelEff)
+	fmt.Printf("  DEV kernel eff           %.0f%% base; penalties: misaligned +%dB, partial +%dB raw/unit\n",
+		100*g.DEVKernelEff, g.MisalignPenaltyRaw, g.PartialPenaltyRaw)
+	fmt.Printf("  memcpy2d pitch cliff     %.0f%% aligned / %.0f%% misaligned, %v per row\n",
+		100*g.Memcpy2DAlignedEff, 100*g.Memcpy2DMisalignedEff, g.Memcpy2DPerRow)
+	fmt.Printf("  device memory            %.1f GiB simulated\n\n", float64(g.MemBytes)/(1<<30))
+
+	fmt.Printf("PCIe (per node):\n")
+	fmt.Printf("  root complex             %.1f GB/s per direction, %v per hop\n", p.RootGBps, p.HopLatency)
+	fmt.Printf("  GPU slots                %.1f GB/s per direction (P2P bypasses the root)\n", p.SlotGBps)
+	fmt.Printf("  host memory bus          %.0f GB/s raw (memcpy ~%.0f GB/s)\n", p.HostBusRawGBps, p.HostBusRawGBps/2)
+	fmt.Printf("  CUDA IPC map             %v one-time per handle\n\n", p.IPCMapCost)
+
+	fmt.Printf("InfiniBand (FDR):\n")
+	fmt.Printf("  wire                     %.1f GB/s per direction, %v latency\n", f.WireGBps, f.Latency)
+	fmt.Printf("  message post             %v; registration %v (cached)\n", f.PerMsgOverhead, f.RegCost)
+	fmt.Printf("  GPUDirect RDMA (large)   %.1f GB/s (why large transfers stage through host)\n\n", f.GPUDirectReadGBps)
+
+	fmt.Printf("Derived sanity numbers:\n")
+	oneMB := int64(1 << 20)
+	fmt.Printf("  1 MiB over PCIe root     %v\n", sim.TimeForBytes(oneMB, p.RootGBps))
+	fmt.Printf("  1 MiB over IB wire       %v\n", sim.TimeForBytes(oneMB, f.WireGBps))
+	fmt.Printf("  1 MiB cudaMemcpy D2D     %v\n", sim.TimeForBytes(2*oneMB, g.DRAMRawGBps))
+}

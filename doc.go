@@ -1,0 +1,17 @@
+// Package gpuddt reproduces "GPU-Aware Non-contiguous Data Movement In
+// Open MPI" (Wu, Jeaugey, Bosilca, Dongarra, vandeVaart — HPDC 2016) as
+// a pure-Go library over a deterministic simulated GPU cluster.
+//
+// The paper's contribution — a GPU datatype engine that re-encodes MPI
+// derived datatypes into warp-sized work units, packs and unpacks with
+// GPU kernels, and pipelines those kernels with PCIe/InfiniBand
+// transfers inside Open MPI's BTL layer — lives in internal/core and
+// internal/mpi. The substrates it needs (a CUDA-like runtime, a GPU
+// performance model, PCIe and InfiniBand fabrics, an MPI datatype
+// engine) are implemented from scratch in the sibling internal packages;
+// see DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// The benchmarks in bench_test.go regenerate every figure of the
+// paper's evaluation; the same runners back the cmd/ddtbench CLI.
+package gpuddt

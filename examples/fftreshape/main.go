@@ -1,0 +1,62 @@
+// FFT reshape (Fig. 11's scenario): in a distributed FFT one side views
+// its slab as a strided vector while the other receives contiguous. The
+// handshake in the pipelined RDMA protocol notices the contiguous
+// receiver and lets the sender's pack kernels write straight into the
+// receive buffer — no unpack, no staging.
+//
+//	go run ./examples/fftreshape
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+const n = 2048
+
+func main() {
+	vec := shapes.SubMatrix(n, n/2, n)                     // half the columns, strided view
+	contig := datatype.Contiguous(n*n/2, datatype.Float64) // packed slab
+
+	run := func(topo string, ranks []mpi.Placement) sim.Time {
+		world := mpi.NewWorld(mpi.Config{Ranks: ranks})
+		var sent, recv []byte
+		var dur sim.Time
+		world.Run(func(m *mpi.Rank) {
+			if m.Rank() == 0 {
+				a := m.Malloc(shapes.MatrixBytes(n))
+				mem.FillPattern(a, 3)
+				c := datatype.NewConverter(vec, 1)
+				sent = make([]byte, c.Total())
+				c.Pack(sent, a.Bytes())
+				t0 := m.Now()
+				m.Send(a, vec, 1, 1, 0)
+				dur = m.Now() - t0
+			} else {
+				slab := m.Malloc(contig.Size())
+				m.Recv(slab, contig, 1, 0, 0)
+				recv = append([]byte(nil), slab.Bytes()...)
+			}
+		})
+		for i := range sent {
+			if sent[i] != recv[i] {
+				log.Fatalf("%s: byte %d differs", topo, i)
+			}
+		}
+		return dur
+	}
+
+	sm := run("2GPU", []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}})
+	ib := run("IB", []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}})
+	size := vec.Size()
+	fmt.Printf("vector->contiguous reshape of %d MB:\n", size>>20)
+	fmt.Printf("  2 GPUs (pack direct into receiver): %v  (%.2f GB/s)\n", sm, sim.GBps(size, sm))
+	fmt.Printf("  2 nodes over IB:                    %v  (%.2f GB/s)\n", ib, sim.GBps(size, ib))
+	fmt.Println("verified: packed slab identical to the sender's strided view")
+}

@@ -1,0 +1,83 @@
+// Particles: a LAMMPS-style molecular-dynamics exchange (§3 of the
+// paper): each rank keeps an array of particle records in GPU memory and
+// an index list of the particles that migrated out of its sub-domain.
+// The indexed datatype gathers exactly those records — scattered,
+// variable-position blocks — without any hand-written packing kernel.
+//
+//	go run ./examples/particles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+)
+
+const (
+	nParticles  = 100000
+	recordElems = 8 // x,y,z, vx,vy,vz, charge, type -> 64 bytes
+	recordBytes = recordElems * 8
+)
+
+// migrating deterministically selects ~5% of particles as leaving the
+// domain (every 19th slot), the paper's "array of indices of local
+// particles that need to be communicated".
+func migrating() []int {
+	var idx []int
+	for i := 0; i < nParticles; i += 19 {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+func main() {
+	world := mpi.NewWorld(mpi.Config{
+		Ranks: []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}, // across InfiniBand
+	})
+
+	idx := migrating()
+	ddt := shapes.ParticleIndices(idx, recordElems)
+	fmt.Printf("exchanging %d of %d particles (%d KB) as an indexed datatype with %d blocks\n",
+		len(idx), nParticles, ddt.Size()>>10, ddt.NumBlocks())
+
+	var sentImg, recvImg []byte
+	world.Run(func(m *mpi.Rank) {
+		particles := m.Malloc(int64(nParticles) * recordBytes)
+		switch m.Rank() {
+		case 0:
+			mem.FillPattern(particles, 7)
+			sentImg = image(ddt, particles)
+			t0 := m.Now()
+			m.Send(particles, ddt, 1, 1, 0)
+			fmt.Printf("rank 0: indexed send over IB took %v (virtual)\n", m.Now()-t0)
+		case 1:
+			// The receiver appends the immigrants at the tail of its
+			// array: a contiguous receive of the same signature.
+			incoming := datatype.Contiguous(len(idx)*recordElems, datatype.Float64)
+			tail := particles.Slice(int64(nParticles-len(idx))*recordBytes, int64(len(idx))*recordBytes)
+			m.Recv(tail, incoming, 1, 0, 0)
+			recvImg = append([]byte(nil), tail.Bytes()...)
+		}
+	})
+
+	if len(sentImg) != len(recvImg) {
+		log.Fatalf("size mismatch: %d vs %d", len(sentImg), len(recvImg))
+	}
+	for i := range sentImg {
+		if sentImg[i] != recvImg[i] {
+			log.Fatalf("particle byte %d differs", i)
+		}
+	}
+	fmt.Printf("verified: %d migrated particle records arrived intact (indexed -> contiguous)\n", len(idx))
+}
+
+func image(dt *datatype.Datatype, buf mem.Buffer) []byte {
+	c := datatype.NewConverter(dt, 1)
+	out := make([]byte, c.Total())
+	c.Pack(out, buf.Bytes())
+	return out
+}

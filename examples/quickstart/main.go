@@ -1,0 +1,64 @@
+// Quickstart: send a non-contiguous GPU-resident sub-matrix between two
+// MPI ranks with a derived datatype, and verify the bytes arrived.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+func main() {
+	const n = 2048 // the big matrix is n x n doubles, column-major
+
+	// Two ranks on one node, each bound to its own GPU.
+	world := mpi.NewWorld(mpi.Config{
+		Ranks: []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}},
+	})
+
+	// An (n/2 x n/2) sub-matrix in the middle of the big matrix: columns
+	// are contiguous, the type as a whole is strided (an MPI vector).
+	sub := shapes.SubMatrix(n/2, n/2, n)
+
+	var sent, received []byte
+	world.Run(func(m *mpi.Rank) {
+		// Each rank owns a full matrix in device memory.
+		matrix := m.Malloc(shapes.MatrixBytes(n))
+		switch m.Rank() {
+		case 0:
+			mem.FillPattern(matrix, 42)
+			sent = packedImage(sub, matrix)
+			start := m.Now()
+			m.Send(matrix, sub, 1, 1, 0)
+			fmt.Printf("rank 0: sent %d KB sub-matrix in %v (virtual time)\n",
+				sub.Size()>>10, m.Now()-start)
+		case 1:
+			m.Recv(matrix, sub, 1, 0, 0)
+			received = packedImage(sub, matrix)
+			fmt.Printf("rank 1: received at %v\n", m.Now())
+		}
+	})
+
+	for i := range sent {
+		if sent[i] != received[i] {
+			log.Fatalf("byte %d differs: %x != %x", i, sent[i], received[i])
+		}
+	}
+	fmt.Printf("verified: %d bytes byte-identical after GPU pack -> PCIe -> GPU unpack\n", len(sent))
+	_ = sim.Time(0)
+}
+
+// packedImage linearizes the datatype's bytes for comparison.
+func packedImage(dt *datatype.Datatype, buf mem.Buffer) []byte {
+	c := datatype.NewConverter(dt, 1)
+	out := make([]byte, c.Total())
+	c.Pack(out, buf.Bytes())
+	return out
+}

@@ -1,0 +1,3 @@
+module gpuddt
+
+go 1.22

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+func TestAppsOursWins(t *testing.T) {
+	f := Apps()
+	ours, mv := f.Series[0], f.Series[1]
+	for i := range ours.Points {
+		if !(ours.Points[i].Y < mv.Points[i].Y) {
+			t.Fatalf("app %v: ours %.3f not faster than MVAPICH %.3f",
+				ours.Points[i].X, ours.Points[i].Y, mv.Points[i].Y)
+		}
+	}
+	t.Logf("halo: %.3f vs %.3f; particles: %.3f vs %.3f; scalapack: %.3f vs %.3f ms",
+		ours.Points[0].Y, mv.Points[0].Y, ours.Points[1].Y, mv.Points[1].Y, ours.Points[2].Y, mv.Points[2].Y)
+}
+
+func TestWhatIfGPUShape(t *testing.T) {
+	f := WhatIfGPU(2048)
+	y := map[string][2]float64{}
+	for _, s := range f.Series {
+		y[s.Name] = [2]float64{s.Points[0].Y, s.Points[1].Y}
+	}
+	// PCIe-bound inter-GPU transfers: within a few percent across gens.
+	for _, name := range []string{"V-2GPU", "T-2GPU"} {
+		k40, p100 := y[name][0], y[name][1]
+		if p100 > k40 || p100 < 0.9*k40 {
+			t.Fatalf("%s: K40 %.3f vs P100 %.3f, want ~equal (wire bound)", name, k40, p100)
+		}
+	}
+	// DRAM-bound intra-GPU transfers: much faster on the P100.
+	for _, name := range []string{"V-1GPU", "T-1GPU"} {
+		k40, p100 := y[name][0], y[name][1]
+		if p100 > 0.6*k40 {
+			t.Fatalf("%s: K40 %.3f vs P100 %.3f, want big speedup", name, k40, p100)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpuddt/internal/core"
+	"gpuddt/internal/cuda"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+// DefaultSizes is the matrix-size sweep used by the figure runners.
+var DefaultSizes = []int{1024, 2048, 4096, 8192}
+
+// SmallSizes keeps unit tests and -short benchmarks fast.
+var SmallSizes = []int{512, 1024}
+
+// vMat is the paper's "V" workload: an N x N sub-matrix inside a larger
+// column-major matrix (leading dimension N+32), so columns are
+// contiguous but the type as a whole is strided — unlike a full matrix,
+// which would collapse to a single contiguous block.
+func vMat(n int) *datatype.Datatype { return shapes.SubMatrix(n, n, n+32) }
+
+// bigGPU returns a K40 profile with enough simulated memory for the
+// N=8192 sweeps (512 MB matrix + packed buffer + staging).
+func bigGPU() gpu.Params {
+	p := gpu.KeplerK40()
+	p.MemBytes = 6 << 30
+	return p
+}
+
+func bigPCIe() pcie.Params {
+	p := pcie.DefaultParams()
+	p.HostMemBytes = 6 << 30
+	return p
+}
+
+// kernelRig is a single-process, single-GPU setup for Figs. 6-8.
+type kernelRig struct {
+	eng *sim.Engine
+	ctx *cuda.Ctx
+	e   *core.Engine
+}
+
+func newKernelRig(opts core.Options) *kernelRig {
+	e := sim.NewEngine()
+	node := pcie.NewNode(e, 0, 1, bigGPU(), bigPCIe())
+	ctx := cuda.NewCtx(node)
+	return &kernelRig{eng: e, ctx: ctx, e: core.New(ctx, 0, opts)}
+}
+
+func layoutSpan(dt *datatype.Datatype, count int) int64 {
+	if count == 0 {
+		return 0
+	}
+	return int64(count-1)*dt.Extent() + dt.TrueLB() + dt.TrueExtent()
+}
+
+// timePack measures one pack of (dt, 1) after the given number of warmup
+// packs (warmup > 0 measures the DEV-cached regime, as the paper's
+// "cached" curves do).
+func (r *kernelRig) timePack(dt *datatype.Datatype, warmup int) sim.Time {
+	data := r.ctx.Malloc(0, layoutSpan(dt, 1))
+	dst := r.ctx.Malloc(0, dt.Size())
+	var dur sim.Time
+	r.eng.Spawn("pack", func(p *sim.Proc) {
+		for i := 0; i < warmup; i++ {
+			r.e.Pack(p, data, dt, 1, dst)
+		}
+		t0 := p.Now()
+		r.e.Pack(p, data, dt, 1, dst)
+		dur = p.Now() - t0
+	})
+	r.eng.Run()
+	return dur
+}
+
+// Fig6 reproduces "GPU memory bandwidth of packing kernels": pack
+// bandwidth of the sub-matrix (V), lower triangular (T) and
+// stair-triangular (T-stair) types against a contiguous cudaMemcpy of
+// the same size (C-cudaMemcpy). Kernel-only: DEV lists are cached.
+func Fig6(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig6",
+		Title:  "GPU memory bandwidth of packing kernels",
+		XLabel: "MatrixSize",
+		YLabel: "GB/s",
+		Note:   "Paper: V ~94% of cudaMemcpy, T ~80%, T-stair recovers V.",
+	}
+	sT := f.NewSeries("T")
+	sV := f.NewSeries("V")
+	sStair := f.NewSeries("T-stair")
+	sC := f.NewSeries("C-cudaMemcpy")
+	for _, n := range sizes {
+		x := float64(n)
+		{
+			r := newKernelRig(core.Options{})
+			dt := vMat(n)
+			sV.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+		}
+		{
+			r := newKernelRig(core.Options{})
+			dt := shapes.LowerTriangular(n)
+			sT.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+		}
+		{
+			r := newKernelRig(core.Options{})
+			dt := shapes.StairTriangular(n, stairNB(n))
+			sStair.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+		}
+		{
+			r := newKernelRig(core.Options{})
+			sz := shapes.MatrixBytes(n)
+			src := r.ctx.Malloc(0, sz)
+			dst := r.ctx.Malloc(0, sz)
+			var dur sim.Time
+			r.eng.Spawn("memcpy", func(p *sim.Proc) {
+				t0 := p.Now()
+				r.ctx.Memcpy(p, dst, src)
+				dur = p.Now() - t0
+			})
+			r.eng.Run()
+			sC.Add(x, sim.GBps(sz, dur))
+		}
+	}
+	return f
+}
+
+// stairNB picks a stair step that divides n and keeps units aligned.
+func stairNB(n int) int {
+	for _, nb := range []int{256, 128, 64, 32} {
+		if n%nb == 0 {
+			return nb
+		}
+	}
+	return n
+}
+
+// fig7Case runs pack+unpack round trips for one datatype/config.
+type fig7Case struct {
+	name    string
+	dt      func(n int) *datatype.Datatype
+	opts    core.Options
+	warmup  int  // packs before measuring (cached curves)
+	viaHost bool // d2d2h: move packed data to host and back
+	zeroCpy bool // cpy: pack/unpack directly against host (UMA)
+}
+
+// Fig7 reproduces "performance of pack and unpack vs matrix size": the
+// in-GPU (bypass CPU) and through-host variants, with and without
+// pipelining and DEV caching.
+func Fig7(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig7",
+		Title:  "Pack+unpack time vs matrix size (bypass CPU / through CPU)",
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+		Note:   "Paper: pipelining ~halves T-d2d; caching removes DEV prep; zero copy slightly beats explicit d2d2h.",
+	}
+	tri := func(n int) *datatype.Datatype { return shapes.LowerTriangular(n) }
+	sub := vMat
+	noPipe := core.Options{NoPipeline: true, NoCacheDEV: true}
+	pipe := core.Options{NoCacheDEV: true}
+	cached := core.Options{}
+	cases := []fig7Case{
+		{name: "V-d2d", dt: sub, opts: cached},
+		{name: "T-d2d", dt: tri, opts: noPipe},
+		{name: "T-d2d-pipeline", dt: tri, opts: pipe},
+		{name: "T-d2d-cached", dt: tri, opts: cached, warmup: 1},
+		{name: "V-d2d2h", dt: sub, opts: cached, viaHost: true},
+		{name: "V-cpy", dt: sub, opts: cached, zeroCpy: true},
+		{name: "T-d2d2h-cached", dt: tri, opts: cached, warmup: 1, viaHost: true},
+		{name: "T-cpy-cached", dt: tri, opts: cached, warmup: 1, zeroCpy: true},
+	}
+	for _, c := range cases {
+		s := f.NewSeries(c.name)
+		for _, n := range sizes {
+			s.Add(float64(n), runFig7Case(c, n).Millis())
+		}
+	}
+	return f
+}
+
+func runFig7Case(c fig7Case, n int) sim.Time {
+	r := newKernelRig(c.opts)
+	dt := c.dt(n)
+	data := r.ctx.Malloc(0, layoutSpan(dt, 1))
+	packedDev := r.ctx.Malloc(0, dt.Size())
+	hostBuf := r.ctx.MallocHost(dt.Size())
+	var dur sim.Time
+	r.eng.Spawn("fig7", func(p *sim.Proc) {
+		for i := 0; i < c.warmup; i++ {
+			r.e.Pack(p, data, dt, 1, packedDev)
+			r.e.Unpack(p, data, dt, 1, packedDev)
+		}
+		t0 := p.Now()
+		switch {
+		case c.zeroCpy:
+			// Zero copy: pack straight into mapped host memory and
+			// unpack straight out of it; the hardware overlaps the
+			// PCIe movement with the kernels.
+			r.e.Pack(p, data, dt, 1, hostBuf)
+			r.e.Unpack(p, data, dt, 1, hostBuf)
+		case c.viaHost:
+			r.e.Pack(p, data, dt, 1, packedDev)
+			r.ctx.Memcpy(p, hostBuf, packedDev)
+			r.ctx.Memcpy(p, packedDev, hostBuf)
+			r.e.Unpack(p, data, dt, 1, packedDev)
+		default:
+			r.e.Pack(p, data, dt, 1, packedDev)
+			r.e.Unpack(p, data, dt, 1, packedDev)
+		}
+		dur = p.Now() - t0
+	})
+	r.eng.Run()
+	return dur
+}
+
+// Fig8BlockSizes is the block-size sweep (bytes); it deliberately mixes
+// 64-byte multiples with sizes that break cudaMemcpy2D's alignment fast
+// path.
+var Fig8BlockSizes = []int64{64, 200, 256, 1000, 1024, 4000, 4096, 16384}
+
+// Fig8 reproduces "vector pack/unpack performance vs cudaMemcpy2D":
+// pack time of a byte-Hvector with the given block count, as block size
+// varies, for the specialized kernel and for cudaMemcpy2D, each in
+// d2d / d2d2h / d2h(zero-copy) variants.
+func Fig8(blockCounts []int64, blockSizes []int64) *Figure {
+	f := &Figure{
+		ID:     "fig8",
+		Title:  "Vector kernel vs cudaMemcpy2D (pack one direction)",
+		XLabel: "BlockBytes",
+		YLabel: "ms",
+		Note:   "Paper: memcpy2d collapses off the 64B-pitch fast path; kernel-d2d tracks mcp2d-d2d.",
+	}
+	for _, blocks := range blockCounts {
+		kd2d := f.NewSeries(fmt.Sprintf("kernel-d2d/%dK", blocks>>10))
+		kd2d2h := f.NewSeries(fmt.Sprintf("kernel-d2d2h/%dK", blocks>>10))
+		kcpy := f.NewSeries(fmt.Sprintf("kernel-d2h(cpy)/%dK", blocks>>10))
+		m2d := f.NewSeries(fmt.Sprintf("mcp2d-d2d/%dK", blocks>>10))
+		m2h := f.NewSeries(fmt.Sprintf("mcp2d-d2h/%dK", blocks>>10))
+		m2d2h := f.NewSeries(fmt.Sprintf("mcp2d-d2d2h/%dK", blocks>>10))
+		for _, bs := range blockSizes {
+			x := float64(bs)
+			stride := 2 * bs
+			dt := datatype.Hvector(int(blocks), int(bs), stride, datatype.Byte)
+			total := dt.Size()
+
+			run := func(fn func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer)) sim.Time {
+				r := newKernelRig(core.Options{})
+				data := r.ctx.Malloc(0, layoutSpan(dt, 1))
+				dev := r.ctx.Malloc(0, total)
+				host := r.ctx.MallocHost(total)
+				var dur sim.Time
+				r.eng.Spawn("fig8", func(p *sim.Proc) {
+					// Warm the DEV cache so kernel curves are kernel-only.
+					r.e.Pack(p, data, dt, 1, dev)
+					t0 := p.Now()
+					fn(p, r, data, dev, host)
+					dur = p.Now() - t0
+				})
+				r.eng.Run()
+				return dur
+			}
+
+			kd2d.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, dev)
+			}).Millis())
+			kd2d2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, dev)
+				r.ctx.Memcpy(p, host, dev)
+			}).Millis())
+			kcpy.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, host)
+			}).Millis())
+			m2d.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
+			}).Millis())
+			m2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, host, bs, data, stride, bs, blocks)
+			}).Millis())
+			m2d2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
+				r.ctx.Memcpy(p, host, dev)
+			}).Millis())
+		}
+	}
+	return f
+}
+
+// AblationUnitSize sweeps the CUDA-DEV split size S for the triangular
+// pack (DESIGN.md A1). The paper fixes S at 1-4 KB after the same
+// trade-off: small S balances ragged columns better but multiplies
+// per-unit overheads.
+func AblationUnitSize(n int, unitSizes []int64) *Figure {
+	f := &Figure{
+		ID:     "ablation-unitsize",
+		Title:  fmt.Sprintf("CUDA-DEV unit size S, triangular N=%d (uncached)", n),
+		XLabel: "S bytes",
+		YLabel: "GB/s",
+	}
+	s := f.NewSeries("T pack")
+	dt := shapes.LowerTriangular(n)
+	for _, us := range unitSizes {
+		r := newKernelRig(core.Options{UnitSize: us, NoCacheDEV: true})
+		s.Add(float64(us), sim.GBps(dt.Size(), r.timePack(dt, 0)))
+	}
+	return f
+}

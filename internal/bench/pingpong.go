@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gpuddt/internal/baseline"
+	"gpuddt/internal/core"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+	"gpuddt/internal/trace"
+)
+
+// Topology selects the ping-pong configuration of §5.2.
+type Topology int
+
+// The three configurations of Fig. 10.
+const (
+	OneGPU  Topology = iota // both ranks share one GPU (SM, CUDA IPC)
+	TwoGPU                  // two GPUs on one node (SM, P2P)
+	TwoNode                 // two nodes over InfiniBand
+)
+
+func (tp Topology) String() string {
+	switch tp {
+	case OneGPU:
+		return "1GPU"
+	case TwoGPU:
+		return "2GPU"
+	default:
+		return "IB"
+	}
+}
+
+func (tp Topology) placements() []mpi.Placement {
+	switch tp {
+	case OneGPU:
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
+	case TwoGPU:
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
+	default:
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
+	}
+}
+
+// PingPongSpec describes one ping-pong measurement.
+type PingPongSpec struct {
+	Topo     Topology
+	Dt0      *datatype.Datatype // rank 0's datatype
+	Dt1      *datatype.Datatype // rank 1's (defaults to Dt0)
+	Count    int
+	OnHost   bool // data in host memory instead of GPU (the CPU config)
+	Iters    int
+	Warmup   int
+	Strategy mpi.Strategy // nil = the paper's pipelined protocols
+	Engine   core.Options
+	Proto    mpi.ProtoOptions
+	BlockCap int     // §5.3: restrict pack/unpack kernels to k blocks
+	BGBlocks int     // §5.4: background app CUDA blocks
+	BGDRAM   float64 // §5.4: background app DRAM fraction
+
+	// Trace, if non-nil, receives a link-utilization report after the
+	// run (internal/trace).
+	Trace io.Writer
+}
+
+// PingPong runs the benchmark and returns the average round-trip time.
+func PingPong(sp PingPongSpec) sim.Time {
+	if sp.Dt1 == nil {
+		sp.Dt1 = sp.Dt0
+	}
+	if sp.Iters == 0 {
+		sp.Iters = 3
+	}
+	if sp.Warmup == 0 {
+		sp.Warmup = 1
+	}
+	w := mpi.NewWorld(mpi.Config{
+		Ranks:    sp.Topo.placements(),
+		GPU:      bigGPU(),
+		PCIe:     bigPCIe(),
+		Strategy: sp.Strategy,
+		Engine:   sp.Engine,
+		Proto:    sp.Proto,
+	})
+	if sp.BlockCap > 0 || sp.BGBlocks > 0 || sp.BGDRAM > 0 {
+		nodes := 1
+		if sp.Topo == TwoNode {
+			nodes = 2
+		}
+		for ni := 0; ni < nodes; ni++ {
+			node := w.Node(ni)
+			for g := 0; g < node.NumGPUs(); g++ {
+				if sp.BlockCap > 0 {
+					node.GPU(g).SetBlockCap(sp.BlockCap)
+				}
+				if sp.BGBlocks > 0 || sp.BGDRAM > 0 {
+					node.GPU(g).SetBackgroundLoad(sp.BGBlocks, sp.BGDRAM)
+				}
+			}
+		}
+	}
+
+	var rt sim.Time
+	w.Run(func(m *mpi.Rank) {
+		dt := sp.Dt0
+		if m.Rank() == 1 {
+			dt = sp.Dt1
+		}
+		span := layoutSpan(dt, sp.Count)
+		var buf = m.Malloc(span)
+		if sp.OnHost {
+			buf = m.MallocHost(span)
+		}
+		m.Barrier()
+		var t0 sim.Time
+		for i := 0; i < sp.Warmup+sp.Iters; i++ {
+			if i == sp.Warmup {
+				t0 = m.Now()
+			}
+			if m.Rank() == 0 {
+				m.Send(buf, dt, sp.Count, 1, i)
+				m.Recv(buf, dt, sp.Count, 1, i+1000)
+			} else {
+				m.Recv(buf, dt, sp.Count, 0, i)
+				m.Send(buf, dt, sp.Count, 0, i+1000)
+			}
+		}
+		if m.Rank() == 0 {
+			rt = (m.Now() - t0) / sim.Time(sp.Iters)
+		}
+	})
+	if sp.Trace != nil {
+		trace.Report(sp.Trace, w.Engine())
+	}
+	return rt
+}
+
+// Fig9 reproduces "PCI-E bandwidth of ping-pong benchmark": achieved
+// per-direction PCIe bandwidth of V, T and C datatypes between two GPUs
+// on one node.
+func Fig9(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig9",
+		Title:  "PCI-E bandwidth of ping-pong (2 GPUs, shared memory)",
+		XLabel: "MatrixSize",
+		YLabel: "GB/s",
+		Note:   "Paper: ~90% (V) and ~78% (T) of the contiguous PCIe bandwidth.",
+	}
+	sV := f.NewSeries("V")
+	sT := f.NewSeries("T")
+	sC := f.NewSeries("C")
+	for _, n := range sizes {
+		x := float64(n)
+		for _, c := range []struct {
+			s  *Series
+			dt *datatype.Datatype
+		}{
+			{sV, vMat(n)},
+			{sT, shapes.LowerTriangular(n)},
+			{sC, shapes.FullMatrix(n)},
+		} {
+			rt := PingPong(PingPongSpec{Topo: TwoGPU, Dt0: c.dt, Count: 1})
+			c.s.Add(x, sim.GBps(c.dt.Size(), rt/2))
+		}
+	}
+	return f
+}
+
+// Fig10 reproduces the three ping-pong sub-figures: time vs matrix size
+// for V and T, ours vs the MVAPICH-style baseline.
+func Fig10(topo Topology, sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig10" + map[Topology]string{OneGPU: "a", TwoGPU: "b", TwoNode: "c"}[topo],
+		Title:  fmt.Sprintf("Ping-pong with matrices, %s", topo),
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+		Note:   "Paper: ours wins everywhere; MVAPICH's indexed path leaves the chart.",
+	}
+	for _, c := range []struct {
+		label string
+		dt    func(n int) *datatype.Datatype
+	}{
+		{"T", shapes.LowerTriangular},
+		{"V", vMat},
+	} {
+		ours := f.NewSeries(fmt.Sprintf("%s-%s", c.label, topo))
+		mv := f.NewSeries(fmt.Sprintf("%s-%s-MVAPICH", c.label, topo))
+		for _, n := range sizes {
+			dt := c.dt(n)
+			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: dt, Count: 1}).Millis())
+			mv.Add(float64(n), PingPong(PingPongSpec{
+				Topo: topo, Dt0: dt, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis())
+		}
+	}
+	return f
+}
+
+// Fig11 reproduces the vector↔contiguous ping-pong (FFT-style reshape):
+// rank 0 holds a sub-matrix view, rank 1 receives contiguous.
+func Fig11(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig11",
+		Title:  "Vector-contiguous ping-pong (FFT reshape)",
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+		Note:   "Paper: the handshake lets the sender pack directly into the receiver buffer (RDMA + zero copy).",
+	}
+	for _, topo := range []Topology{TwoGPU, TwoNode} {
+		ours := f.NewSeries(fmt.Sprintf("VC-%s", topo))
+		mv := f.NewSeries(fmt.Sprintf("VC-%s-MVAPICH", topo))
+		for _, n := range sizes {
+			vec := vMat(n)
+			contig := shapes.FullMatrix(n)
+			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: vec, Dt1: contig, Count: 1}).Millis())
+			mv.Add(float64(n), PingPong(PingPongSpec{
+				Topo: topo, Dt0: vec, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis())
+		}
+	}
+	return f
+}
+
+// Fig12 reproduces the matrix-transpose ping-pong stress test: the
+// sender transmits the transposed view (N vectors of blocklength 1); the
+// receiver stores contiguous.
+func Fig12(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig12",
+		Title:  "Matrix transpose ping-pong",
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+		Note:   "Stress test: 8-byte blocks defeat coalescing for us and explode call counts for MVAPICH.",
+	}
+	for _, topo := range []Topology{TwoGPU, TwoNode} {
+		ours := f.NewSeries(fmt.Sprintf("TR-%s", topo))
+		mv := f.NewSeries(fmt.Sprintf("TR-%s-MVAPICH", topo))
+		for _, n := range sizes {
+			tr := shapes.Transpose(n)
+			contig := shapes.FullMatrix(n)
+			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: tr, Dt1: contig, Count: 1}).Millis())
+			mv.Add(float64(n), PingPong(PingPongSpec{
+				Topo: topo, Dt0: tr, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis())
+		}
+	}
+	return f
+}
+
+// Sec53 reproduces §5.3: how many CUDA blocks the pack/unpack kernels
+// need before communication stops improving (the PCIe bottleneck takes
+// over).
+func Sec53(n int, blockCaps []int) *Figure {
+	f := &Figure{
+		ID:     "sec5.3",
+		Title:  fmt.Sprintf("Minimal GPU resources: ping-pong (2 GPUs) N=%d vs kernel grid size", n),
+		XLabel: "CUDABlocks",
+		YLabel: "ms",
+		Note:   "Paper: a handful of blocks saturates PCIe; the rest of the GPU stays available.",
+	}
+	sV := f.NewSeries("V")
+	sT := f.NewSeries("T")
+	for _, k := range blockCaps {
+		sV.Add(float64(k), PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: vMat(n), Count: 1, BlockCap: k,
+		}).Millis())
+		sT.Add(float64(k), PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BlockCap: k,
+		}).Millis())
+	}
+	return f
+}
+
+// Sec54 reproduces §5.4: ping-pong degradation when a co-resident
+// GPU-intensive application consumes a growing share of the GPU.
+func Sec54(n int, loads []float64) *Figure {
+	f := &Figure{
+		ID:     "sec5.4",
+		Title:  fmt.Sprintf("Shared-GPU interference: ping-pong N=%d vs background load", n),
+		XLabel: "BackgroundLoad",
+		YLabel: "ms",
+		Note:   "PCIe-bound inter-GPU transfers barely degrade (packing needs few resources); DRAM-bound intra-GPU transfers feel the background app's bandwidth share.",
+	}
+	sV := f.NewSeries("V-2GPU")
+	sT := f.NewSeries("T-2GPU")
+	sV1 := f.NewSeries("V-1GPU")
+	sT1 := f.NewSeries("T-1GPU")
+	total := bigGPU().DefaultBlocks
+	for _, load := range loads {
+		bg := int(float64(total) * load)
+		dram := load * 0.9
+		sV.Add(load, PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+		}).Millis())
+		sT.Add(load, PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+		}).Millis())
+		// Intra-GPU transfers are DRAM-bound, so the background app's
+		// bandwidth share hits them much harder.
+		sV1.Add(load, PingPong(PingPongSpec{
+			Topo: OneGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+		}).Millis())
+		sT1.Add(load, PingPong(PingPongSpec{
+			Topo: OneGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+		}).Millis())
+	}
+	return f
+}
+
+// AblationPipeline sweeps the BTL pipeline fragment size (DESIGN.md A2).
+func AblationPipeline(n int, fragSizes []int64) *Figure {
+	f := &Figure{
+		ID:     "ablation-fragsize",
+		Title:  fmt.Sprintf("Pipeline fragment size, 2-GPU ping-pong N=%d", n),
+		XLabel: "FragBytes",
+		YLabel: "ms",
+	}
+	sV := f.NewSeries("V")
+	for _, fb := range fragSizes {
+		sV.Add(float64(fb), PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: vMat(n), Count: 1,
+			Proto: mpi.ProtoOptions{FragBytes: fb},
+		}).Millis())
+	}
+	return f
+}
+
+// AblationRemoteUnpack compares staged vs direct remote unpacking
+// (DESIGN.md A3, §5.2.1's 5-10% claim).
+func AblationRemoteUnpack(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "ablation-remoteunpack",
+		Title:  "Receiver staging vs direct remote unpack (2-GPU ping-pong, T)",
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+	}
+	staged := f.NewSeries("staged")
+	direct := f.NewSeries("direct")
+	for _, n := range sizes {
+		dt := shapes.LowerTriangular(n)
+		staged.Add(float64(n), PingPong(PingPongSpec{Topo: TwoGPU, Dt0: dt, Count: 1}).Millis())
+		direct.Add(float64(n), PingPong(PingPongSpec{
+			Topo: TwoGPU, Dt0: dt, Count: 1,
+			Proto: mpi.ProtoOptions{DirectRemoteUnpack: true},
+		}).Millis())
+	}
+	return f
+}
+
+// Fig1Solutions benchmarks the four approaches of Fig. 1 on a triangular
+// matrix pack to host (solutions a/b/c vs the GPU datatype engine).
+func Fig1Solutions(sizes []int) *Figure {
+	f := &Figure{
+		ID:     "fig1",
+		Title:  "Fig. 1 solutions: non-contiguous GPU data to contiguous host buffer (T)",
+		XLabel: "MatrixSize",
+		YLabel: "ms",
+		Note:   "d (GPU pack + zero copy) wins; b collapses on per-block memcpy overhead.",
+	}
+	sA := f.NewSeries("a-copy-with-gaps")
+	sB := f.NewSeries("b-per-block-d2h")
+	sC := f.NewSeries("c-per-block-d2d")
+	sD := f.NewSeries("d-gpu-pack")
+	for _, n := range sizes {
+		dt := shapes.LowerTriangular(n)
+		x := float64(n)
+		r := newKernelRig(core.Options{})
+		span := layoutSpan(dt, 1)
+		data := r.ctx.Malloc(0, span)
+		host := r.ctx.MallocHost(dt.Size())
+		devDst := r.ctx.Malloc(0, dt.Size())
+		scratch := r.ctx.MallocHost(span)
+		var ta, tb, tc, td sim.Time
+		r.eng.Spawn("fig1", func(p *sim.Proc) {
+			t0 := p.Now()
+			baseline.SolutionA(p, r.ctx, data, dt, 1, host, scratch)
+			ta = p.Now() - t0
+			t0 = p.Now()
+			baseline.SolutionB(p, r.ctx, data, dt, 1, host)
+			tb = p.Now() - t0
+			t0 = p.Now()
+			baseline.SolutionC(p, r.ctx, data, dt, 1, devDst)
+			tc = p.Now() - t0
+			t0 = p.Now()
+			r.e.Pack(p, data, dt, 1, host) // zero-copy pack to host
+			td = p.Now() - t0
+		})
+		r.eng.Run()
+		sA.Add(x, ta.Millis())
+		sB.Add(x, tb.Millis())
+		sC.Add(x, tc.Millis())
+		sD.Add(x, td.Millis())
+	}
+	return f
+}

@@ -1,0 +1,211 @@
+// Package core implements the paper's contribution: a datatype engine for
+// non-contiguous GPU-resident data (HPDC'16, §3).
+//
+// The engine re-encodes any MPI datatype into Datatype Engine Vector
+// entries — <memory displacement, packed displacement, length> tuples —
+// splits them into equally sized CUDA-DEV work units of size S that map
+// one-to-one onto warps (§3.2), and executes pack/unpack as GPU kernels.
+// The CPU-side conversion is pipelined with kernel execution, and the
+// split unit list can be cached (keyed by datatype and count) so repeat
+// transfers skip conversion entirely. Datatypes whose layout is an evenly
+// strided vector bypass conversion and use the specialized vector kernel
+// of §3.1.
+package core
+
+import (
+	"fmt"
+
+	"gpuddt/internal/cuda"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Entry is one CUDA-DEV work unit before it is bound to a direction:
+// Len bytes at MemOff in the non-contiguous data correspond to PackOff in
+// the packed stream. Partial marks units shorter than the split size S.
+type Entry struct {
+	MemOff  int64
+	PackOff int64
+	Len     int32
+	Partial bool
+}
+
+// Options configure the engine. Zero values select the defaults
+// documented on each field via DefaultOptions.
+type Options struct {
+	// UnitSize is S, the CUDA-DEV split size. The paper requires a
+	// multiple of 8 bytes x the warp width (lower bound 256 B) and uses
+	// 1-4 KB to enable loop unrolling; default 1 KB.
+	UnitSize int64
+
+	// ChunkBytes is how much packed data the CPU converts before
+	// launching a kernel for it, enabling the conversion/execution
+	// pipeline of §3.2. Default 2 MiB.
+	ChunkBytes int64
+
+	// NoPipeline disables the conversion/kernel pipeline: the whole
+	// datatype is converted before the first launch (the paper's
+	// non-pipelined baseline in Fig. 7).
+	NoPipeline bool
+
+	// NoCacheDEV disables caching the split unit list in GPU memory
+	// (cached lists are keyed by datatype and count).
+	NoCacheDEV bool
+
+	// ConvPerEntry and ConvPerUnit are the CPU costs of converting one
+	// datatype block into a DEV entry and of emitting one split CUDA-DEV
+	// unit, respectively.
+	ConvPerEntry sim.Time
+	ConvPerUnit  sim.Time
+
+	// Blocks requests a kernel grid size (0 = device default); used by
+	// the §5.3 minimal-resources study.
+	Blocks int
+
+	// DisableVectorKernel forces the generic DEV path even for vector
+	// layouts (ablation).
+	DisableVectorKernel bool
+
+	// RemoteAccessEff derates PCIe utilization when a kernel reads
+	// scattered data directly from a peer GPU's memory (§5.2.1: direct
+	// remote unpack generates too much traffic and under-utilizes
+	// PCI-E). Default 0.7.
+	RemoteAccessEff float64
+}
+
+// DefaultOptions returns the calibrated defaults.
+func DefaultOptions() Options {
+	return Options{
+		UnitSize:        1024,
+		ChunkBytes:      2 << 20,
+		ConvPerEntry:    40 * sim.Nanosecond,
+		ConvPerUnit:     8 * sim.Nanosecond,
+		RemoteAccessEff: 0.7,
+	}
+}
+
+type cacheKey struct {
+	dt    *datatype.Datatype
+	count int
+}
+
+type cacheVal struct {
+	entries []Entry
+	devBuf  mem.Buffer // descriptor array resident in GPU memory
+}
+
+// Engine is a per-process GPU datatype engine bound to one device.
+type Engine struct {
+	ctx    *cuda.Ctx
+	dev    *gpu.Device
+	stream *gpu.Stream
+	opts   Options
+	cache  map[cacheKey]*cacheVal
+
+	// statistics
+	convEntries int64
+	convUnits   int64
+	cacheHits   int64
+}
+
+// New creates an engine for GPU devID of the context's node. Pack and
+// unpack kernels run on a dedicated stream so they overlap with copies
+// issued on other streams.
+func New(ctx *cuda.Ctx, devID int, opts Options) *Engine {
+	def := DefaultOptions()
+	if opts.UnitSize == 0 {
+		opts.UnitSize = def.UnitSize
+	}
+	if opts.UnitSize%256 != 0 {
+		panic(fmt.Sprintf("core: unit size %d must be a multiple of 256 (8 bytes x warp width)", opts.UnitSize))
+	}
+	if opts.ChunkBytes == 0 {
+		opts.ChunkBytes = def.ChunkBytes
+	}
+	if opts.ConvPerEntry == 0 {
+		opts.ConvPerEntry = def.ConvPerEntry
+	}
+	if opts.ConvPerUnit == 0 {
+		opts.ConvPerUnit = def.ConvPerUnit
+	}
+	if opts.RemoteAccessEff == 0 {
+		opts.RemoteAccessEff = def.RemoteAccessEff
+	}
+	dev := ctx.Node().GPU(devID)
+	return &Engine{
+		ctx:    ctx,
+		dev:    dev,
+		stream: dev.NewStream("ddt"),
+		opts:   opts,
+		cache:  make(map[cacheKey]*cacheVal),
+	}
+}
+
+// Ctx returns the CUDA context.
+func (e *Engine) Ctx() *cuda.Ctx { return e.ctx }
+
+// Device returns the engine's GPU.
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// Stream returns the engine's pack/unpack stream.
+func (e *Engine) Stream() *gpu.Stream { return e.stream }
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// CacheHits returns how many pack/unpack setups were served from the
+// DEV cache.
+func (e *Engine) CacheHits() int64 { return e.cacheHits }
+
+// ConvertedUnits returns the cumulative number of CUDA-DEV units
+// produced by CPU-side conversion (cache misses only).
+func (e *Engine) ConvertedUnits() int64 { return e.convUnits }
+
+// lookupCache returns the cached unit list for (dt, count), if enabled
+// and present.
+func (e *Engine) lookupCache(dt *datatype.Datatype, count int) *cacheVal {
+	if e.opts.NoCacheDEV {
+		return nil
+	}
+	return e.cache[cacheKey{dt, count}]
+}
+
+// storeCache saves a fully converted unit list and charges the GPU
+// memory that holds the descriptor array (the paper's "few MBs of GPU
+// memory", §5.1).
+func (e *Engine) storeCache(dt *datatype.Datatype, count int, entries []Entry) {
+	if e.opts.NoCacheDEV {
+		return
+	}
+	key := cacheKey{dt, count}
+	if _, ok := e.cache[key]; ok {
+		return
+	}
+	devBuf := e.dev.Mem().Alloc(int64(len(entries))*entryDevBytes, 256)
+	e.cache[key] = &cacheVal{entries: entries, devBuf: devBuf}
+}
+
+// entryDevBytes is sizeof(cuda_dev_dist): three 8-byte fields (§3.2).
+const entryDevBytes = 24
+
+// splitEntries appends the CUDA-DEV units for one converter emission.
+func splitEntries(dst []Entry, unitSize, memOff, packOff, n int64) []Entry {
+	for n > 0 {
+		take := unitSize
+		if n < take {
+			take = n
+		}
+		dst = append(dst, Entry{
+			MemOff:  memOff,
+			PackOff: packOff,
+			Len:     int32(take),
+			Partial: take < unitSize,
+		})
+		memOff += take
+		packOff += take
+		n -= take
+	}
+	return dst
+}

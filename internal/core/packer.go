@@ -1,0 +1,309 @@
+package core
+
+import (
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// direction distinguishes pack (GPU data -> contiguous) from unpack.
+type direction int
+
+const (
+	dirPack direction = iota
+	dirUnpack
+)
+
+// maxUnitLen bounds a single kernel unit (vector fast path blocks are
+// split to fit the 32-bit unit length).
+const maxUnitLen = 1 << 30
+
+// Packer drives the pipelined packing of one (datatype, count) message
+// from GPU-resident non-contiguous data into contiguous fragments. It is
+// resumable: each PackInto call produces the next fragment, which is how
+// the BTL protocols pipeline pack with transfer and unpack (§4).
+type Packer struct {
+	e    *Engine
+	data mem.Buffer
+	conv *datatype.Converter
+	dt   *datatype.Datatype
+	cnt  int
+	dir  direction
+
+	view     *datatype.VectorView
+	cached   *cacheVal
+	building []Entry // accumulates entries on a cache miss
+	ci       int     // index into cached.entries at the current position
+}
+
+// NewPacker prepares packing of count elements of dt laid out over data
+// (a device buffer whose byte 0 is the datatype origin).
+func (e *Engine) NewPacker(data mem.Buffer, dt *datatype.Datatype, count int) *Packer {
+	return e.newWorker(data, dt, count, dirPack)
+}
+
+// NewUnpacker prepares the inverse operation: scattering contiguous
+// fragments into the non-contiguous layout over data.
+func (e *Engine) NewUnpacker(data mem.Buffer, dt *datatype.Datatype, count int) *Packer {
+	return e.newWorker(data, dt, count, dirUnpack)
+}
+
+func (e *Engine) newWorker(data mem.Buffer, dt *datatype.Datatype, count int, dir direction) *Packer {
+	pk := &Packer{
+		e:    e,
+		data: data,
+		conv: datatype.NewConverter(dt, count),
+		dt:   dt,
+		cnt:  count,
+		dir:  dir,
+	}
+	if !e.opts.DisableVectorKernel {
+		pk.view = datatype.VectorViewN(dt, count)
+	}
+	if pk.view == nil {
+		if pk.cached = e.lookupCache(dt, count); pk.cached != nil {
+			e.cacheHits++
+		} else if !e.opts.NoCacheDEV {
+			pk.building = make([]Entry, 0, 1024)
+		}
+	}
+	return pk
+}
+
+// Total returns the packed size of the message.
+func (pk *Packer) Total() int64 { return pk.conv.Total() }
+
+// Remaining returns the packed bytes not yet produced/consumed.
+func (pk *Packer) Remaining() int64 { return pk.conv.Remaining() }
+
+// Done reports whether the whole message has been processed.
+func (pk *Packer) Done() bool { return pk.conv.Done() }
+
+// PackInto packs the next min(len(frag), Remaining()) bytes into frag.
+// frag may be device memory (kernel writes in-GPU) or host memory (the
+// zero-copy path: the kernel streams over PCIe). It returns the byte
+// count and a future that completes when frag holds the data. Work is
+// submitted to the engine's stream; CPU-side conversion overlaps with
+// previously launched kernels (the §3.2 pipeline).
+func (pk *Packer) PackInto(p *sim.Proc, frag mem.Buffer) (int64, *sim.Future) {
+	if pk.dir != dirPack {
+		panic("core: PackInto on an unpacker")
+	}
+	return pk.process(p, frag)
+}
+
+// UnpackFrom scatters the next min(len(frag), Remaining()) bytes of frag
+// into the data layout; frag may be device or host (zero-copy) memory.
+func (pk *Packer) UnpackFrom(p *sim.Proc, frag mem.Buffer) (int64, *sim.Future) {
+	if pk.dir != dirUnpack {
+		panic("core: UnpackFrom on a packer")
+	}
+	return pk.process(p, frag)
+}
+
+func (pk *Packer) process(p *sim.Proc, frag mem.Buffer) (int64, *sim.Future) {
+	n := frag.Len()
+	if r := pk.conv.Remaining(); n > r {
+		n = r
+	}
+	if n == 0 {
+		f := pk.e.ctx.Engine().NewFuture()
+		f.Complete(nil)
+		return 0, f
+	}
+	start := pk.conv.Packed()
+	var fut *sim.Future
+	switch {
+	case pk.view != nil:
+		entries := pk.viewEntries(start, n)
+		pk.conv.Advance(n, nil)
+		fut = pk.launch(gpu.VectorKernel, entries, start, frag)
+	case pk.cached != nil:
+		entries := pk.cachedEntries(start, n)
+		pk.conv.Advance(n, nil)
+		fut = pk.launch(gpu.DEVKernel, entries, start, frag)
+	default:
+		fut = pk.convertAndLaunch(p, start, n, frag)
+	}
+	return n, fut
+}
+
+// viewEntries computes the units intersecting packed window [start,
+// start+n) directly from the vector view — no conversion cost, exactly
+// like the specialized kernel taking (blocklen, stride, count) arguments.
+func (pk *Packer) viewEntries(start, n int64) []Entry {
+	v := pk.view
+	var out []Entry
+	end := start + n
+	for i := start / v.BlockLen; i < v.Count; i++ {
+		bStart := i * v.BlockLen // packed offset of block i
+		if bStart >= end {
+			break
+		}
+		lo, hi := bStart, bStart+v.BlockLen
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		memOff := v.Off + i*v.Stride + (lo - bStart)
+		for l := lo; l < hi; {
+			take := hi - l
+			if take > maxUnitLen {
+				take = maxUnitLen
+			}
+			out = append(out, Entry{MemOff: memOff + (l - lo), PackOff: l, Len: int32(take)})
+			l += take
+		}
+	}
+	return out
+}
+
+// cachedEntries slices the cached unit list for the packed window,
+// splitting boundary units as needed. No conversion cost: the descriptor
+// array is already resident in GPU memory.
+func (pk *Packer) cachedEntries(start, n int64) []Entry {
+	entries := pk.cached.entries
+	end := start + n
+	// Resume scanning from the last position (windows are sequential).
+	for pk.ci > 0 && entries[pk.ci-1].PackOff+int64(entries[pk.ci-1].Len) > start {
+		pk.ci--
+	}
+	var out []Entry
+	for i := pk.ci; i < len(entries); i++ {
+		u := entries[i]
+		uStart, uEnd := u.PackOff, u.PackOff+int64(u.Len)
+		if uEnd <= start {
+			pk.ci = i + 1
+			continue
+		}
+		if uStart >= end {
+			break
+		}
+		lo, hi := uStart, uEnd
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		out = append(out, Entry{
+			MemOff:  u.MemOff + (lo - uStart),
+			PackOff: lo,
+			Len:     int32(hi - lo),
+			Partial: u.Partial || hi-lo < int64(u.Len),
+		})
+	}
+	return out
+}
+
+// convertAndLaunch runs the CPU conversion for the window in chunks,
+// launching a kernel per chunk so conversion of chunk k+1 overlaps
+// execution of chunk k when pipelining is enabled (§3.2). With
+// pipelining disabled the full window is converted before one launch.
+func (pk *Packer) convertAndLaunch(p *sim.Proc, start, n int64, frag mem.Buffer) *sim.Future {
+	opts := &pk.e.opts
+	var all []Entry
+	var fut *sim.Future
+	converted := int64(0)
+	for converted < n {
+		m := opts.ChunkBytes
+		if opts.NoPipeline {
+			m = n
+		}
+		if rem := n - converted; m > rem {
+			m = rem
+		}
+		chunkStart := start + converted
+		var entries []Entry
+		pieces := 0
+		pk.conv.Advance(m, func(memOff, packOff, l int64) {
+			pieces++
+			entries = splitEntries(entries, opts.UnitSize, memOff, packOff, l)
+		})
+		// CPU cost of simulating the pack and emitting cuda_dev_dist
+		// entries for this chunk.
+		p.Sleep(sim.Time(pieces)*opts.ConvPerEntry + sim.Time(len(entries))*opts.ConvPerUnit)
+		pk.e.convEntries += int64(pieces)
+		pk.e.convUnits += int64(len(entries))
+		// Upload the descriptor array to the device.
+		pk.e.ctx.Node().H2D(pk.e.dev.ID()).Transfer(p, int64(len(entries))*entryDevBytes)
+		fut = pk.launch(gpu.DEVKernel, entries, chunkStart, frag.Slice(converted, m+0))
+		converted += m
+		if pk.building != nil {
+			all = append(all, entries...)
+		}
+	}
+	if pk.building != nil {
+		pk.building = append(pk.building, all...)
+		if pk.conv.Done() {
+			pk.e.storeCache(pk.dt, pk.cnt, pk.building)
+			pk.building = nil
+		}
+	}
+	return fut
+}
+
+// launch builds the direction-bound kernel for a window and submits it.
+// fragStart is the packed offset of frag[0].
+func (pk *Packer) launch(kind gpu.KernelKind, entries []Entry, fragStart int64, frag mem.Buffer) *sim.Future {
+	k := &gpu.Kernel{Kind: kind, Blocks: pk.e.opts.Blocks}
+	units := make([]gpu.Unit, len(entries))
+	if pk.dir == dirPack {
+		k.Src, k.Dst = pk.data, frag
+		for i, u := range entries {
+			units[i] = gpu.Unit{SrcOff: u.MemOff, DstOff: u.PackOff - fragStart, Len: u.Len, Partial: u.Partial}
+		}
+	} else {
+		k.Src, k.Dst = frag, pk.data
+		for i, u := range entries {
+			units[i] = gpu.Unit{SrcOff: u.PackOff - fragStart, DstOff: u.MemOff, Len: u.Len, Partial: u.Partial}
+		}
+	}
+	k.Units = units
+	switch {
+	case frag.Kind() == mem.Host:
+		// Zero copy: the contiguous side is mapped host memory (§4.2).
+		if pk.dir == dirPack {
+			return pk.e.ctx.LaunchPackZeroCopy(pk.e.stream, k)
+		}
+		return pk.e.ctx.LaunchUnpackZeroCopy(pk.e.stream, k)
+	case frag.Space() != pk.e.dev.Mem():
+		// The contiguous side lives in a peer GPU's memory (mapped via
+		// CUDA IPC). Packing writes stream coalesced over the local
+		// transmit link; direct remote unpacking issues many scattered
+		// reads and under-utilizes PCIe (§5.2.1), modeled by inflating
+		// the wire traffic by 1/RemoteAccessEff.
+		node := pk.e.ctx.Node()
+		if pk.dir == dirPack {
+			return pk.e.dev.LaunchZeroCopy(pk.e.stream, k, node.SlotTx(pk.e.dev.ID()), k.Bytes())
+		}
+		wire := int64(float64(k.Bytes()) / pk.e.opts.RemoteAccessEff)
+		return pk.e.dev.LaunchZeroCopy(pk.e.stream, k, node.SlotRx(pk.e.dev.ID()), wire)
+	default:
+		return pk.e.dev.Launch(pk.e.stream, k)
+	}
+}
+
+// Pack performs a whole-message pack synchronously: data (device,
+// non-contiguous) into dst, which must hold Total() bytes.
+func (e *Engine) Pack(p *sim.Proc, data mem.Buffer, dt *datatype.Datatype, count int, dst mem.Buffer) {
+	pk := e.NewPacker(data, dt, count)
+	if dst.Len() < pk.Total() {
+		panic("core: destination smaller than packed size")
+	}
+	_, fut := pk.PackInto(p, dst.Slice(0, pk.Total()))
+	fut.Await(p)
+}
+
+// Unpack performs a whole-message unpack synchronously.
+func (e *Engine) Unpack(p *sim.Proc, data mem.Buffer, dt *datatype.Datatype, count int, src mem.Buffer) {
+	pk := e.NewUnpacker(data, dt, count)
+	if src.Len() < pk.Total() {
+		panic("core: source smaller than packed size")
+	}
+	_, fut := pk.UnpackFrom(p, src.Slice(0, pk.Total()))
+	fut.Await(p)
+}

@@ -1,0 +1,187 @@
+package datatype
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ownerOf recomputes ownership of a global index by brute force.
+func ownerOf(dist Distrib, darg, gsize, np, idx int) int {
+	switch dist {
+	case DistribNone:
+		return 0
+	case DistribBlock:
+		b := darg
+		if b == DargDefault {
+			b = (gsize + np - 1) / np
+		}
+		return idx / b
+	case DistribCyclic:
+		b := darg
+		if b == DargDefault {
+			b = 1
+		}
+		return (idx / b) % np
+	}
+	panic("bad dist")
+}
+
+// checkDarrayPartition verifies that the union of all ranks' darray
+// types covers the global array exactly once and that each rank's
+// blocks land on elements it owns.
+func checkDarrayPartition(t *testing.T, gsizes []int, distribs []Distrib, dargs []int, psizes []int, order Order) {
+	t.Helper()
+	size := 1
+	for _, p := range psizes {
+		size *= p
+	}
+	total := int64(1)
+	for _, g := range gsizes {
+		total *= int64(g)
+	}
+	covered := make([]int, total*8) // per-byte coverage count
+	for rank := 0; rank < size; rank++ {
+		d := Darray(size, rank, gsizes, distribs, dargs, psizes, order, Float64)
+		if d.Extent() != total*8 {
+			t.Fatalf("rank %d extent %d, want %d", rank, d.Extent(), total*8)
+		}
+		for _, b := range d.Flat() {
+			for i := b.Off; i < b.Off+b.Len; i++ {
+				covered[i]++
+			}
+		}
+		// Every element of this rank's type must be owned by this rank.
+		coords := make([]int, len(gsizes))
+		r := rank
+		for i := len(gsizes) - 1; i >= 0; i-- {
+			coords[i] = r % psizes[i]
+			r /= psizes[i]
+		}
+		for _, b := range d.Flat() {
+			for e := b.Off / 8; e < (b.Off+b.Len)/8; e++ {
+				idx := elemToIndices(e, gsizes, order)
+				for dim := range gsizes {
+					want := coords[dim]
+					if got := ownerOf(distribs[dim], dargs[dim], gsizes[dim], psizes[dim], idx[dim]); got != want {
+						t.Fatalf("rank %d: element %v dim %d owned by %d, not %d", rank, idx, dim, got, want)
+					}
+				}
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("byte %d covered %d times", i, c)
+		}
+	}
+}
+
+// elemToIndices converts a linear element offset to per-dim indices.
+func elemToIndices(e int64, gsizes []int, order Order) []int {
+	n := len(gsizes)
+	idx := make([]int, n)
+	if order == OrderC {
+		for d := n - 1; d >= 0; d-- {
+			idx[d] = int(e % int64(gsizes[d]))
+			e /= int64(gsizes[d])
+		}
+	} else {
+		for d := 0; d < n; d++ {
+			idx[d] = int(e % int64(gsizes[d]))
+			e /= int64(gsizes[d])
+		}
+	}
+	return idx
+}
+
+func TestDarrayPartitions(t *testing.T) {
+	cases := []struct {
+		name     string
+		gsizes   []int
+		distribs []Distrib
+		dargs    []int
+		psizes   []int
+		order    Order
+	}{
+		{"block-block-C", []int{8, 6}, []Distrib{DistribBlock, DistribBlock}, []int{DargDefault, DargDefault}, []int{2, 3}, OrderC},
+		{"block-block-F", []int{8, 6}, []Distrib{DistribBlock, DistribBlock}, []int{DargDefault, DargDefault}, []int{2, 3}, OrderFortran},
+		{"cyclic1", []int{10}, []Distrib{DistribCyclic}, []int{DargDefault}, []int{3}, OrderC},
+		{"cyclic2-block", []int{12, 8}, []Distrib{DistribCyclic, DistribBlock}, []int{2, DargDefault}, []int{2, 2}, OrderC},
+		{"block-cyclic-F", []int{9, 10}, []Distrib{DistribBlock, DistribCyclic}, []int{DargDefault, 3}, []int{3, 2}, OrderFortran},
+		{"none-block", []int{5, 8}, []Distrib{DistribNone, DistribBlock}, []int{DargDefault, DargDefault}, []int{1, 4}, OrderC},
+		{"uneven-block", []int{7}, []Distrib{DistribBlock}, []int{DargDefault}, []int{3}, OrderC},
+		{"3d", []int{4, 6, 4}, []Distrib{DistribBlock, DistribCyclic, DistribBlock}, []int{DargDefault, DargDefault, DargDefault}, []int{2, 2, 2}, OrderC},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkDarrayPartition(t, c.gsizes, c.distribs, c.dargs, c.psizes, c.order)
+		})
+	}
+}
+
+func TestDarrayBlockCyclicScaLAPACK(t *testing.T) {
+	// A classic ScaLAPACK layout: 2D block-cyclic with 2x2 blocks on a
+	// 2x2 process grid over a 8x8 column-major matrix.
+	g := []int{8, 8}
+	dist := []Distrib{DistribCyclic, DistribCyclic}
+	dargs := []int{2, 2}
+	ps := []int{2, 2}
+	d := Darray(4, 0, g, dist, dargs, ps, OrderFortran, Float64)
+	if d.Size() != 16*8 {
+		t.Fatalf("rank 0 owns %d bytes, want 128", d.Size())
+	}
+	// Rank 0 (coords 0,0) owns rows {0,1,4,5} x cols {0,1,4,5}: its
+	// first block is column 0, rows 0..1: offset 0, 16 bytes.
+	if d.Flat()[0] != (Block{0, 16}) {
+		t.Fatalf("first block = %+v", d.Flat()[0])
+	}
+}
+
+func TestDarrayPackRoundTrip(t *testing.T) {
+	// Pack every rank's darray piece and reassemble the global array.
+	g := []int{6, 6}
+	dist := []Distrib{DistribCyclic, DistribBlock}
+	dargs := []int{2, DargDefault}
+	ps := []int{3, 2}
+	global := make([]byte, 36*8)
+	for i := range global {
+		global[i] = byte(i * 7)
+	}
+	re := make([]byte, len(global))
+	for rank := 0; rank < 6; rank++ {
+		d := Darray(6, rank, g, dist, dargs, ps, OrderC, Float64)
+		c := NewConverter(d, 1)
+		packed := make([]byte, c.Total())
+		c.Pack(packed, global)
+		u := NewConverter(d, 1)
+		u.Unpack(re, packed)
+	}
+	for i := range global {
+		if global[i] != re[i] {
+			t.Fatalf("byte %d lost in the partition round trip", i)
+		}
+	}
+}
+
+func TestDarrayValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Darray(4, 0, []int{8}, []Distrib{DistribBlock}, []int{DargDefault}, []int{2}, OrderC, Float64) }, // grid 2 != size 4
+		func() { Darray(2, 2, []int{8}, []Distrib{DistribBlock}, []int{DargDefault}, []int{2}, OrderC, Float64) }, // rank out of range
+		func() {
+			Darray(2, 0, []int{8}, []Distrib{DistribBlock}, []int{2}, []int{2}, OrderC, Float64) // block 2*2 < 8
+		},
+		func() {
+			Darray(2, 0, []int{8}, []Distrib{DistribNone}, []int{DargDefault}, []int{2}, OrderC, Float64) // none with np>1
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	_ = fmt.Sprint()
+}

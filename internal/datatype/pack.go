@@ -1,0 +1,121 @@
+package datatype
+
+import "fmt"
+
+// Converter walks the memory layout of (datatype, count) in packed-byte
+// order, resumably: each Advance call consumes up to a caller-chosen
+// number of packed bytes, which is exactly what fragment-at-a-time
+// pipelined protocols need (Open MPI's opal_convertor).
+type Converter struct {
+	dt     *Datatype
+	count  int64
+	extent int64
+	total  int64
+
+	rep    int64 // current repetition of the datatype
+	bi     int   // current block within the element
+	bo     int64 // bytes already consumed within the current block
+	packed int64 // packed bytes consumed so far
+}
+
+// NewConverter returns a converter positioned at the beginning of a
+// (datatype, count) layout. It panics if the datatype has data before its
+// origin (negative true lower bound), which the engine does not support.
+func NewConverter(dt *Datatype, count int) *Converter {
+	if dt == nil {
+		panic("datatype: nil datatype")
+	}
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	if dt.TrueLB() < 0 {
+		panic(fmt.Sprintf("datatype: %s has negative true lower bound %d", dt.Name(), dt.TrueLB()))
+	}
+	return &Converter{
+		dt:     dt,
+		count:  int64(count),
+		extent: dt.Extent(),
+		total:  int64(count) * dt.Size(),
+	}
+}
+
+// Total returns the packed size of the full layout in bytes.
+func (c *Converter) Total() int64 { return c.total }
+
+// Packed returns the packed bytes consumed so far.
+func (c *Converter) Packed() int64 { return c.packed }
+
+// Remaining returns the packed bytes not yet consumed.
+func (c *Converter) Remaining() int64 { return c.total - c.packed }
+
+// Done reports whether the layout is fully consumed.
+func (c *Converter) Done() bool { return c.packed >= c.total }
+
+// Rewind repositions the converter at the beginning.
+func (c *Converter) Rewind() {
+	c.rep, c.bi, c.bo, c.packed = 0, 0, 0, 0
+}
+
+// SeekTo positions the converter at packed offset pos (MPI_Pack position).
+func (c *Converter) SeekTo(pos int64) {
+	if pos < 0 || pos > c.total {
+		panic(fmt.Sprintf("datatype: seek %d outside [0,%d]", pos, c.total))
+	}
+	c.Rewind()
+	if pos > 0 {
+		c.Advance(pos, nil)
+	}
+}
+
+// Advance consumes up to max packed bytes, invoking emit (if non-nil) for
+// every contiguous piece with the absolute memory offset (from the data
+// origin), the absolute packed offset, and the piece length. It returns
+// the number of packed bytes consumed, which is min(max, Remaining()).
+func (c *Converter) Advance(max int64, emit func(memOff, packOff, n int64)) int64 {
+	if max < 0 {
+		panic("datatype: negative advance")
+	}
+	flat := c.dt.flat
+	var done int64
+	for done < max && c.rep < c.count {
+		b := flat[c.bi]
+		take := b.Len - c.bo
+		if rem := max - done; take > rem {
+			take = rem
+		}
+		if emit != nil {
+			emit(c.rep*c.extent+b.Off+c.bo, c.packed, take)
+		}
+		c.bo += take
+		c.packed += take
+		done += take
+		if c.bo == b.Len {
+			c.bo = 0
+			c.bi++
+			if c.bi == len(flat) {
+				c.bi = 0
+				c.rep++
+			}
+		}
+	}
+	return done
+}
+
+// Pack copies up to len(dst) packed bytes from the layout over src into
+// dst, starting at the current position, and returns the bytes packed.
+// src must cover the data region [0, count*extent) of the layout.
+func (c *Converter) Pack(dst, src []byte) int64 {
+	start := c.packed
+	return c.Advance(int64(len(dst)), func(memOff, packOff, n int64) {
+		copy(dst[packOff-start:], src[memOff:memOff+n])
+	})
+}
+
+// Unpack copies up to len(src) packed bytes from src into the layout over
+// dst, starting at the current position, and returns the bytes consumed.
+func (c *Converter) Unpack(dst, src []byte) int64 {
+	start := c.packed
+	return c.Advance(int64(len(src)), func(memOff, packOff, n int64) {
+		copy(dst[memOff:memOff+n], src[packOff-start:packOff-start+n])
+	})
+}

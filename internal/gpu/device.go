@@ -1,0 +1,138 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Device is one simulated GPU: device memory, a DRAM port shared by all
+// on-device traffic, DMA copy engines toward the host (wired up by the
+// PCIe topology), and SM-limited kernel execution.
+type Device struct {
+	eng  *sim.Engine
+	id   int
+	p    Params
+	mem  *mem.Space
+	dram *sim.Resource
+
+	// H2D and D2H are the PCIe copy-engine links toward host memory,
+	// installed by the pcie topology builder. Nil until wired.
+	H2D, D2H *sim.Link
+
+	blockCap   int     // kernel grid cap (0 = no cap beyond DefaultBlocks)
+	bgBlocks   int     // CUDA blocks held by a background application (§5.4)
+	bgDRAMFrac float64 // DRAM fraction consumed by the background app
+
+	kernelsRun int64
+	rawMoved   int64
+}
+
+// NewDevice creates a GPU with the given calibration profile.
+func NewDevice(eng *sim.Engine, id int, p Params) *Device {
+	d := &Device{
+		eng:  eng,
+		id:   id,
+		p:    p,
+		mem:  mem.NewSpace(fmt.Sprintf("gpu%d", id), mem.Device, p.MemBytes),
+		dram: eng.NewResource(fmt.Sprintf("gpu%d.dram", id), 1),
+	}
+	return d
+}
+
+// Engine returns the simulation engine the device is bound to.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// ID returns the device index within its node.
+func (d *Device) ID() int { return d.id }
+
+// Params returns the calibration profile.
+func (d *Device) Params() Params { return d.p }
+
+// Mem returns the device memory space.
+func (d *Device) Mem() *mem.Space { return d.mem }
+
+// KernelsRun returns the number of kernels executed so far.
+func (d *Device) KernelsRun() int64 { return d.kernelsRun }
+
+// SetBlockCap restricts pack/unpack kernels to at most n CUDA blocks
+// (the §5.3 "minimal resources" experiment). n <= 0 removes the cap.
+func (d *Device) SetBlockCap(n int) { d.blockCap = n }
+
+// SetBackgroundLoad models a co-resident GPU-intensive application
+// (§5.4): it permanently occupies blocks CUDA blocks and consumes
+// dramFrac of the raw DRAM bandwidth.
+func (d *Device) SetBackgroundLoad(blocks int, dramFrac float64) {
+	if blocks < 0 || dramFrac < 0 || dramFrac >= 1 {
+		panic("gpu: invalid background load")
+	}
+	d.bgBlocks = blocks
+	d.bgDRAMFrac = dramFrac
+}
+
+// availableBlocks resolves a requested grid size against caps and the
+// background application's footprint. At least one block is always
+// schedulable (the background app time-slices).
+func (d *Device) availableBlocks(requested int) int {
+	avail := d.p.DefaultBlocks - d.bgBlocks
+	if d.blockCap > 0 && d.blockCap < avail {
+		avail = d.blockCap
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	if requested > 0 && requested < avail {
+		return requested
+	}
+	return avail
+}
+
+// dramRawRate returns the raw DRAM bandwidth available to foreground
+// work, in GB/s.
+func (d *Device) dramRawRate() float64 {
+	return d.p.DRAMRawGBps * (1 - d.bgDRAMFrac)
+}
+
+// kernelRawRate returns the raw throughput (GB/s) of a kernel running on
+// the given number of blocks: SM-limited below the DRAM peak.
+func (d *Device) kernelRawRate(blocks int) float64 {
+	r := float64(blocks) * d.p.PerBlockRawGBps
+	if peak := d.dramRawRate(); r > peak {
+		r = peak
+	}
+	return r
+}
+
+// chargeDRAM occupies the device DRAM port for raw bytes of traffic at
+// rate GB/s (rate is the kernel's achievable rate; if it is below the
+// DRAM peak, the port is held only for the peak-rate portion so that
+// concurrent streams can interleave, and the remainder is idle time).
+func (d *Device) chargeDRAM(p *sim.Proc, raw int64, rate float64) {
+	dramTime := sim.TimeForBytes(raw, d.dramRawRate())
+	total := sim.TimeForBytes(raw, rate)
+	d.dram.Acquire(p)
+	p.Sleep(dramTime)
+	d.dram.Release()
+	if total > dramTime {
+		p.Sleep(total - dramTime)
+	}
+	d.rawMoved += raw
+}
+
+// copyD2DTime is the duration of a device-to-device cudaMemcpy of n bytes
+// (reads and writes both cross the DRAM port).
+func (d *Device) copyD2DTime(n int64) sim.Time {
+	return sim.TimeForBytes(2*n, d.dramRawRate()*d.p.MemcpyD2DEff)
+}
+
+// CopyD2D performs a synchronous intra-device copy on the calling
+// process, charging memcpy overhead plus DRAM occupancy.
+func (d *Device) CopyD2D(p *sim.Proc, dst, src mem.Buffer) {
+	if dst.Len() != src.Len() {
+		panic("gpu: CopyD2D length mismatch")
+	}
+	p.Sleep(d.p.MemcpyOverhead)
+	d.chargeDRAM(p, 2*src.Len(), d.dramRawRate()*d.p.MemcpyD2DEff)
+	mem.Copy(dst, src)
+}

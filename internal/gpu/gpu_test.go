@@ -1,0 +1,298 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+func newDev(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	e := sim.NewEngine()
+	return e, NewDevice(e, 0, KeplerK40())
+}
+
+// contigKernel builds a kernel that copies n bytes as aligned, full units
+// of unitLen bytes.
+func contigKernel(kind KernelKind, src, dst mem.Buffer, unitLen int64) *Kernel {
+	k := &Kernel{Kind: kind, Src: src, Dst: dst}
+	n := src.Len()
+	for off := int64(0); off < n; off += unitLen {
+		l := unitLen
+		if off+l > n {
+			l = n - off
+		}
+		k.Units = append(k.Units, Unit{SrcOff: off, DstOff: off, Len: int32(l), Partial: l < unitLen})
+	}
+	return k
+}
+
+func TestKernelMovesBytes(t *testing.T) {
+	e, d := newDev(t)
+	src := d.Mem().Alloc(4096, 256)
+	dst := d.Mem().Alloc(4096, 256)
+	mem.FillPattern(src, 1)
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		d.Launch(s, contigKernel(VectorKernel, src, dst, 1024)).Await(p)
+	})
+	e.Run()
+	if !mem.Equal(src, dst) {
+		t.Fatal("kernel did not copy data")
+	}
+	if d.KernelsRun() != 1 {
+		t.Fatalf("kernelsRun = %d", d.KernelsRun())
+	}
+}
+
+func TestVectorKernelNear94Percent(t *testing.T) {
+	e, d := newDev(t)
+	n := int64(64 << 20) // large enough to amortize launch
+	src := d.Mem().Alloc(n, 256)
+	dst := d.Mem().Alloc(n, 256)
+	var dur sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		t0 := p.Now()
+		d.Launch(s, contigKernel(VectorKernel, src, dst, 32768)).Await(p)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	// Effective copy bandwidth counts useful bytes once; raw = 2n.
+	gotEff := sim.GBps(n, dur) / (d.Params().DRAMRawGBps / 2)
+	if gotEff < 0.92 || gotEff > 0.95 {
+		t.Fatalf("vector kernel efficiency = %.3f, want ~0.94", gotEff)
+	}
+}
+
+func TestDEVKernelPenalties(t *testing.T) {
+	e, d := newDev(t)
+	n := int64(32 << 20)
+	src := d.Mem().Alloc(n+512, 256)
+	dst := d.Mem().Alloc(n+512, 256)
+
+	aligned := contigKernel(DEVKernel, src.Slice(0, n), dst.Slice(0, n), 1024)
+	// Same shape but every unit misaligned by 8 bytes and marked partial.
+	bad := contigKernel(DEVKernel, src.Slice(8, n), dst.Slice(8, n), 1024)
+	for i := range bad.Units {
+		bad.Units[i].Partial = true
+	}
+
+	ta := d.KernelTime(aligned)
+	tb := d.KernelTime(bad)
+	if tb <= ta {
+		t.Fatalf("penalized kernel not slower: %v vs %v", tb, ta)
+	}
+	// Aligned full units: efficiency ~ DEVKernelEff relative to copy peak.
+	effA := float64(2*n) / d.Params().DRAMRawGBps / 1e9 / ta.Seconds()
+	if effA < 0.92 || effA > 0.96 {
+		t.Fatalf("aligned DEV efficiency = %.3f", effA)
+	}
+	// Penalized: each 1KB unit pays 384+512 extra raw -> ~70% of aligned.
+	ratio := ta.Seconds() / tb.Seconds()
+	if ratio < 0.60 || ratio > 0.80 {
+		t.Fatalf("penalty ratio = %.3f", ratio)
+	}
+	_ = e
+}
+
+func TestStreamSerializesKernels(t *testing.T) {
+	e, d := newDev(t)
+	src := d.Mem().Alloc(1<<20, 256)
+	dst := d.Mem().Alloc(1<<20, 256)
+	var t1, t2 sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		k := contigKernel(VectorKernel, src, dst, 65536)
+		f1 := d.Launch(s, k)
+		f2 := d.Launch(s, k)
+		f2.Await(p)
+		t1, t2 = f1.CompletedAt(), f2.CompletedAt()
+	})
+	e.Run()
+	if t2 < 2*t1-sim.Nanosecond {
+		t.Fatalf("second kernel overlapped first on same stream: %v vs %v", t1, t2)
+	}
+}
+
+func TestTwoStreamsShareDRAM(t *testing.T) {
+	e, d := newDev(t)
+	src := d.Mem().Alloc(64<<20, 256)
+	dst1 := d.Mem().Alloc(64<<20, 256)
+	dst2 := d.Mem().Alloc(64<<20, 256)
+	k1 := contigKernel(VectorKernel, src, dst1, 65536)
+	k2 := contigKernel(VectorKernel, src, dst2, 65536)
+	solo := d.KernelTime(k1)
+	var both sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		sa, sb := d.NewStream("a"), d.NewStream("b")
+		fa := d.Launch(sa, k1)
+		fb := d.Launch(sb, k2)
+		sim.AwaitAll(p, fa, fb)
+		both = p.Now()
+	})
+	e.Run()
+	// Two DRAM-saturating kernels must take ~2x one kernel, not 1x.
+	if both < solo*19/10 {
+		t.Fatalf("concurrent kernels did not contend for DRAM: both=%v solo=%v", both, solo)
+	}
+}
+
+func TestBlockCapSlowsKernels(t *testing.T) {
+	_, d := newDev(t)
+	src := d.Mem().Alloc(8<<20, 256)
+	dst := d.Mem().Alloc(8<<20, 256)
+	k := contigKernel(VectorKernel, src, dst, 65536)
+	full := d.KernelTime(k)
+	d.SetBlockCap(1)
+	capped := d.KernelTime(k)
+	d.SetBlockCap(0)
+	// One block sustains 48 raw GB/s vs 380 peak: ~7.9x slower.
+	ratio := capped.Seconds() / full.Seconds()
+	if ratio < 6 || ratio > 9 {
+		t.Fatalf("block-cap ratio = %.2f", ratio)
+	}
+}
+
+func TestBackgroundLoadSlowsKernels(t *testing.T) {
+	_, d := newDev(t)
+	src := d.Mem().Alloc(8<<20, 256)
+	dst := d.Mem().Alloc(8<<20, 256)
+	k := contigKernel(VectorKernel, src, dst, 65536)
+	full := d.KernelTime(k)
+	d.SetBackgroundLoad(d.Params().DefaultBlocks/2, 0.5)
+	loaded := d.KernelTime(k)
+	if loaded < full*18/10 {
+		t.Fatalf("background load had no effect: %v vs %v", loaded, full)
+	}
+}
+
+func TestRequestedBlocksBelowDefault(t *testing.T) {
+	_, d := newDev(t)
+	src := d.Mem().Alloc(8<<20, 256)
+	dst := d.Mem().Alloc(8<<20, 256)
+	k := contigKernel(VectorKernel, src, dst, 65536)
+	k.Blocks = 2
+	two := d.KernelTime(k)
+	k.Blocks = 4
+	four := d.KernelTime(k)
+	if !(four < two) {
+		t.Fatalf("more blocks not faster: 2->%v 4->%v", two, four)
+	}
+}
+
+func TestCopyD2D(t *testing.T) {
+	e, d := newDev(t)
+	src := d.Mem().Alloc(1<<20, 256)
+	dst := d.Mem().Alloc(1<<20, 256)
+	mem.FillPattern(src, 3)
+	var dur sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		t0 := p.Now()
+		d.CopyD2D(p, dst, src)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	if !mem.Equal(src, dst) {
+		t.Fatal("copy failed")
+	}
+	want := d.Params().MemcpyOverhead + sim.TimeForBytes(2<<20, d.Params().DRAMRawGBps)
+	if dur != want {
+		t.Fatalf("dur = %v, want %v", dur, want)
+	}
+}
+
+func TestZeroCopyKernelLimitedByLink(t *testing.T) {
+	e, d := newDev(t)
+	host := mem.NewSpace("host", mem.Host, 64<<20)
+	src := d.Mem().Alloc(32<<20, 256)
+	dst := host.Alloc(32<<20, 256)
+	link := e.NewLink("pcie.d2h", 10, 2*sim.Microsecond)
+	mem.FillPattern(src, 9)
+	var dur sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		k := contigKernel(VectorKernel, src, dst, 65536)
+		t0 := p.Now()
+		d.LaunchZeroCopy(s, k, link, k.Bytes()).Await(p)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	if !mem.Equal(src, dst) {
+		t.Fatal("zero-copy kernel did not move data")
+	}
+	wire := sim.TimeForBytes(32<<20, 10)
+	if dur < wire {
+		t.Fatalf("faster than the wire: %v < %v", dur, wire)
+	}
+	if dur > wire+wire/5 {
+		t.Fatalf("too slow: %v vs wire %v", dur, wire)
+	}
+}
+
+func TestKernelTimeMatchesLaunch(t *testing.T) {
+	e, d := newDev(t)
+	src := d.Mem().Alloc(4<<20, 256)
+	dst := d.Mem().Alloc(4<<20, 256)
+	k := contigKernel(DEVKernel, src, dst, 2048)
+	want := d.Params().KernelLaunch + d.KernelTime(k)
+	var dur sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		t0 := p.Now()
+		d.Launch(s, k).Await(p)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	if dur != want {
+		t.Fatalf("dur = %v, want %v", dur, want)
+	}
+}
+
+func TestAvailableBlocks(t *testing.T) {
+	_, d := newDev(t)
+	if got := d.availableBlocks(0); got != d.Params().DefaultBlocks {
+		t.Fatalf("default = %d", got)
+	}
+	if got := d.availableBlocks(5); got != 5 {
+		t.Fatalf("requested 5 = %d", got)
+	}
+	d.SetBlockCap(3)
+	if got := d.availableBlocks(5); got != 3 {
+		t.Fatalf("capped = %d", got)
+	}
+	d.SetBackgroundLoad(d.Params().DefaultBlocks, 0)
+	if got := d.availableBlocks(0); got != 1 {
+		t.Fatalf("fully loaded = %d", got)
+	}
+}
+
+func TestComputeKernelChargesDRAM(t *testing.T) {
+	e, d := newDev(t)
+	var dur sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		t0 := p.Now()
+		d.Compute(s, 38<<20, 0).Await(p) // ~38 MB raw at 380 GB/s = 100us
+		dur = p.Now() - t0
+	})
+	e.Run()
+	want := d.Params().KernelLaunch + sim.TimeForBytes(38<<20, d.Params().DRAMRawGBps)
+	if dur != want {
+		t.Fatalf("dur = %v, want %v", dur, want)
+	}
+	if d.KernelsRun() != 1 {
+		t.Fatalf("kernelsRun = %d", d.KernelsRun())
+	}
+}
+
+func TestKernelBytesAccounting(t *testing.T) {
+	_, d := newDev(t)
+	src := d.Mem().Alloc(10000, 256)
+	dst := d.Mem().Alloc(10000, 256)
+	k := contigKernel(DEVKernel, src, dst, 1024)
+	if k.Bytes() != 10000 {
+		t.Fatalf("Bytes = %d", k.Bytes())
+	}
+}

@@ -1,0 +1,161 @@
+package gpu
+
+import (
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// KernelKind selects the cost model for a pack/unpack kernel.
+type KernelKind int
+
+const (
+	// VectorKernel is the specialized blocklength/stride kernel of §3.1:
+	// a regular grid, no descriptor fetches, 8-byte accesses with
+	// prologue/epilogue alignment handling.
+	VectorKernel KernelKind = iota
+	// DEVKernel is the generic kernel of §3.2 driven by an array of
+	// cuda_dev_dist work units; partial and misaligned units pay extra
+	// memory transactions and divergence.
+	DEVKernel
+)
+
+func (k KernelKind) String() string {
+	if k == VectorKernel {
+		return "vector"
+	}
+	return "dev"
+}
+
+// Unit is one contiguous copy performed by a kernel: Len bytes from
+// Src+SrcOff to Dst+DstOff of the owning Kernel. For a pack operation the
+// destination side is the contiguous buffer; for unpack the source side
+// is. Partial marks units shorter than the full CUDA-DEV split size S.
+type Unit struct {
+	SrcOff, DstOff int64
+	Len            int32
+	Partial        bool
+}
+
+// Kernel describes one pack or unpack kernel launch. Units reference the
+// Src and Dst base buffers by offset, keeping descriptors compact (as the
+// cuda_dev_dist array does in the paper).
+type Kernel struct {
+	Kind   KernelKind
+	Src    mem.Buffer
+	Dst    mem.Buffer
+	Units  []Unit
+	Blocks int // requested grid size; 0 = device default
+}
+
+// Bytes returns the number of useful bytes the kernel moves.
+func (k *Kernel) Bytes() int64 {
+	var n int64
+	for _, u := range k.Units {
+		n += int64(u.Len)
+	}
+	return n
+}
+
+// ceilWarp rounds n up to a whole number of warp-wide transactions.
+func ceilWarp(n, warp int64) int64 {
+	return (n + warp - 1) / warp * warp
+}
+
+// rawBytes computes the raw DRAM traffic of the kernel under the
+// coalescing model: the contiguous side of each unit is fully coalesced
+// (Len bytes), the scattered side costs whole warp iterations
+// (ceil(Len/warp)*warp), and DEV units pay penalties when misaligned or
+// partial. The result is then derated by the kernel kind's efficiency.
+func (d *Device) rawBytes(k *Kernel) int64 {
+	warp := d.p.WarpBytes
+	var raw int64
+	for _, u := range k.Units {
+		n := int64(u.Len)
+		raw += n + ceilWarp(n, warp)
+		if k.Kind == DEVKernel {
+			if (k.Src.Addr()+u.SrcOff)%warp != 0 || (k.Dst.Addr()+u.DstOff)%warp != 0 {
+				raw += d.p.MisalignPenaltyRaw
+			}
+			if u.Partial {
+				raw += d.p.PartialPenaltyRaw
+			}
+		}
+	}
+	return raw
+}
+
+func (d *Device) kernelEff(kind KernelKind) float64 {
+	if kind == VectorKernel {
+		return d.p.VectorKernelEff
+	}
+	return d.p.DEVKernelEff
+}
+
+// KernelTime predicts the execution time of k (excluding launch overhead)
+// on the given grid, for planning pipeline fragment sizes.
+func (d *Device) KernelTime(k *Kernel) sim.Time {
+	raw := d.rawBytes(k)
+	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
+	return sim.TimeForBytes(raw, rate)
+}
+
+// Launch submits kernel k to stream s. The returned future completes when
+// the kernel has executed: launch overhead, DRAM occupancy per the cost
+// model, and the actual byte movement of every unit.
+func (d *Device) Launch(s *Stream, k *Kernel) *sim.Future {
+	raw := d.rawBytes(k)
+	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
+	return s.Submit("kernel."+k.Kind.String(), func(p *sim.Proc) {
+		p.Sleep(d.p.KernelLaunch)
+		d.chargeDRAM(p, raw, rate)
+		k.run()
+		d.kernelsRun++
+	})
+}
+
+// LaunchZeroCopy submits kernel k whose contiguous side is not in this
+// device's memory: a mapped host buffer (CUDA UMA zero copy) or a peer
+// GPU's memory. The data crosses link as part of kernel execution,
+// overlapping the transfer with the scattered-side DRAM accesses.
+// wireBytes is the PCIe traffic charged on the link — pass more than
+// k.Bytes() to model inefficient access patterns (e.g. scattered reads
+// from remote device memory). The link is held for the longer of the
+// kernel time and the wire time, as on real hardware where the slower
+// side throttles the other.
+func (d *Device) LaunchZeroCopy(s *Stream, k *Kernel, link *sim.Link, wireBytes int64) *sim.Future {
+	raw := d.rawBytes(k)
+	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
+	n := wireBytes
+	return s.Submit("kernel.zerocopy."+k.Kind.String(), func(p *sim.Proc) {
+		p.Sleep(d.p.KernelLaunch)
+		hold := sim.TimeForBytes(raw, rate)
+		if wire := link.OccupancyFor(n); wire > hold {
+			hold = wire
+		}
+		link.HoldFor(p, n, hold)
+		p.Sleep(link.Latency())
+		k.run()
+		d.kernelsRun++
+		d.rawMoved += raw
+	})
+}
+
+// Compute submits a memory-bound compute kernel (e.g. a reduction
+// combine) that touches raw bytes of DRAM traffic without moving data;
+// the caller performs any byte manipulation after awaiting the future.
+func (d *Device) Compute(s *Stream, raw int64, blocks int) *sim.Future {
+	rate := d.kernelRawRate(d.availableBlocks(blocks))
+	return s.Submit("kernel.compute", func(p *sim.Proc) {
+		p.Sleep(d.p.KernelLaunch)
+		d.chargeDRAM(p, raw, rate)
+		d.kernelsRun++
+	})
+}
+
+// run moves the bytes of every unit. Called at kernel completion time so
+// no process can observe partially written data earlier in virtual time.
+func (k *Kernel) run() {
+	for _, u := range k.Units {
+		mem.Copy(k.Dst.Slice(u.DstOff, int64(u.Len)), k.Src.Slice(u.SrcOff, int64(u.Len)))
+	}
+}

@@ -1,0 +1,135 @@
+// Package gpu models an NVIDIA-class GPU at the granularity the HPDC'16
+// paper's experiments depend on: streams that serialize work, DMA copy
+// engines that overlap with kernels, a finite DRAM bandwidth shared by
+// everything on the device, SM-limited kernel throughput, warp-granular
+// memory coalescing, and per-call launch overheads.
+//
+// Kernels move real bytes between mem.Buffers; the timing model charges
+// virtual time on the owning sim.Engine. Calibration constants live in
+// Params and are documented against the paper's reported numbers.
+package gpu
+
+import "gpuddt/internal/sim"
+
+// Params is the calibrated performance model of one GPU.
+//
+// The default profile, KeplerK40, is tuned so that the relations the paper
+// reports emerge from the model:
+//
+//   - cudaMemcpy D2D is the "practical peak" of device memory bandwidth
+//     (Fig. 6's C-cudaMemcpy curve);
+//   - the specialized vector pack kernel reaches ~94% of that peak;
+//   - the generic DEV kernel on a ragged (triangular) layout reaches ~80%,
+//     the loss coming from per-unit penalties on partial and misaligned
+//     work units — so a stair-shaped triangle whose units are full and
+//     aligned recovers the vector bandwidth (Fig. 6's T-stair);
+//   - a handful of CUDA blocks saturate PCIe, so communication needs only
+//     a small fraction of the GPU (§5.3).
+type Params struct {
+	// Name identifies the profile in topology dumps.
+	Name string
+
+	// SMCount is the number of streaming multiprocessors (K40: 15).
+	SMCount int
+
+	// WarpBytes is the number of bytes one warp moves per coalesced
+	// iteration: 32 threads x 8 bytes (the paper forces 8-byte accesses).
+	WarpBytes int64
+
+	// DRAMRawGBps is raw device-memory port bandwidth in GB/s, counting
+	// reads and writes separately. A device-to-device copy of n bytes
+	// consumes 2n raw bytes, so 380 raw GB/s yields the ~190 GB/s
+	// cudaMemcpy D2D figure measured on a K40.
+	DRAMRawGBps float64
+
+	// PerBlockRawGBps is the raw bandwidth one resident CUDA block can
+	// sustain. blocks*PerBlockRawGBps caps kernel throughput below the
+	// DRAM peak when the grid is small (used by §5.3 and §5.4).
+	PerBlockRawGBps float64
+
+	// DefaultBlocks is the grid size pack/unpack kernels use when the
+	// caller does not restrict it (2 blocks per SM).
+	DefaultBlocks int
+
+	// KernelLaunch is the host-side cost of launching one kernel.
+	KernelLaunch sim.Time
+
+	// MemcpyOverhead is the per-call cost of cudaMemcpy/cudaMemcpy2D.
+	MemcpyOverhead sim.Time
+
+	// VectorKernelEff is the efficiency of the specialized vector kernel
+	// relative to raw DRAM bandwidth (paper: 94% of cudaMemcpy).
+	VectorKernelEff float64
+
+	// DEVKernelEff is the base efficiency of the generic DEV kernel loop
+	// before per-unit penalties (descriptor fetch amortized, unrolled).
+	DEVKernelEff float64
+
+	// MisalignPenaltyRaw is the extra raw bytes charged for a DEV work
+	// unit whose source or destination is not warp-aligned (extra memory
+	// transactions on the ragged edge).
+	MisalignPenaltyRaw int64
+
+	// PartialPenaltyRaw is the extra raw bytes charged for a DEV work
+	// unit shorter than the full unit size S (idle threads in the last
+	// warp iterations plus branch divergence).
+	PartialPenaltyRaw int64
+
+	// MemcpyD2DEff derates the D2D copy engine from the raw port rate.
+	MemcpyD2DEff float64
+
+	// Memcpy2DAlignedEff is cudaMemcpy2D efficiency (relative to the path
+	// peak) when the row width is a multiple of 64 bytes; Memcpy2DMisalignedEff
+	// applies otherwise (the paper's Fig. 8 cliff).
+	Memcpy2DAlignedEff    float64
+	Memcpy2DMisalignedEff float64
+
+	// Memcpy2DPerRow is the per-row descriptor cost of cudaMemcpy2D
+	// crossing PCIe; it dominates for very narrow rows (e.g. the
+	// transpose datatype) and is why MVAPICH's per-vector memcpy2d
+	// approach collapses on indexed layouts.
+	Memcpy2DPerRow sim.Time
+
+	// MemBytes is the size of device memory.
+	MemBytes int64
+}
+
+// PascalP100 returns a Pascal-generation profile (HBM2 memory, more
+// SMs, cheaper launches) for the forward-looking study in
+// bench.WhatIfGPU: the paper's protocols should remain PCIe-bound even
+// when the GPU gets ~4x faster.
+func PascalP100() Params {
+	p := KeplerK40()
+	p.Name = "Pascal-P100"
+	p.SMCount = 56
+	p.DRAMRawGBps = 1400
+	p.PerBlockRawGBps = 48
+	p.DefaultBlocks = 112
+	p.KernelLaunch = 5 * sim.Microsecond
+	p.MemcpyOverhead = 7 * sim.Microsecond
+	return p
+}
+
+// KeplerK40 returns the calibration used throughout the reproduction:
+// one NVIDIA Kepler K40 as in the paper's PSG-cluster nodes.
+func KeplerK40() Params {
+	return Params{
+		Name:                  "Kepler-K40",
+		SMCount:               15,
+		WarpBytes:             256,
+		DRAMRawGBps:           380,
+		PerBlockRawGBps:       48,
+		DefaultBlocks:         30,
+		KernelLaunch:          6 * sim.Microsecond,
+		MemcpyOverhead:        8 * sim.Microsecond,
+		VectorKernelEff:       0.94,
+		DEVKernelEff:          0.94,
+		MisalignPenaltyRaw:    384,
+		PartialPenaltyRaw:     512,
+		MemcpyD2DEff:          1.0,
+		Memcpy2DAlignedEff:    0.90,
+		Memcpy2DMisalignedEff: 0.22,
+		Memcpy2DPerRow:        40 * sim.Nanosecond,
+		MemBytes:              1 << 30, // 1 GiB simulated (K40 has 12; tests need far less)
+	}
+}

@@ -1,0 +1,69 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpuddt/internal/sim"
+)
+
+// Stream is a CUDA-style in-order work queue. Operations submitted to one
+// stream execute serially; distinct streams execute concurrently, sharing
+// the device's DRAM port and copy engines. A dedicated daemon process
+// drains each stream.
+type Stream struct {
+	dev  *Device
+	name string
+	q    *sim.Mailbox
+}
+
+type streamOp struct {
+	label string
+	fn    func(p *sim.Proc)
+	done  *sim.Future
+}
+
+// NewStream creates a stream and starts its worker.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{
+		dev:  d,
+		name: fmt.Sprintf("gpu%d.%s", d.id, name),
+		q:    d.eng.NewMailbox(fmt.Sprintf("gpu%d.%s.q", d.id, name)),
+	}
+	d.eng.SpawnDaemon(s.name, func(p *sim.Proc) {
+		for {
+			op := s.q.Get(p).(*streamOp)
+			if op.fn != nil {
+				op.fn(p)
+			}
+			op.done.Complete(nil)
+		}
+	})
+	return s
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Submit enqueues fn on the stream and returns a future that completes
+// when fn has finished. fn runs on the stream worker process and may
+// sleep, hold resources and move bytes.
+func (s *Stream) Submit(label string, fn func(p *sim.Proc)) *sim.Future {
+	op := &streamOp{label: label, fn: fn, done: s.dev.eng.NewFuture()}
+	s.q.Put(op)
+	return op.done
+}
+
+// Record enqueues a marker (a CUDA event) and returns its future: it
+// completes when all previously submitted work on the stream has finished.
+func (s *Stream) Record() *sim.Future {
+	return s.Submit("event", nil)
+}
+
+// Sync blocks the calling process until all work submitted so far has
+// completed (cudaStreamSynchronize).
+func (s *Stream) Sync(p *sim.Proc) {
+	s.Record().Await(p)
+}

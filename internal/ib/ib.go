@@ -1,0 +1,165 @@
+// Package ib models an InfiniBand fabric connecting cluster nodes: HCAs
+// with per-direction links, ordered message delivery, RDMA read/write
+// against registered memory, a registration cache, and an optional
+// GPUDirect-RDMA path whose large-message throughput is capped as on real
+// Kepler-era hardware (which is why the paper pipelines large transfers
+// through host memory, §5.2).
+package ib
+
+import (
+	"fmt"
+
+	"gpuddt/internal/mem"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/sim"
+)
+
+// Params calibrates the fabric (FDR InfiniBand defaults).
+type Params struct {
+	// WireGBps is the per-direction bandwidth of an HCA port (FDR 4x:
+	// 56 Gb/s signalling, ~6 GB/s effective).
+	WireGBps float64
+
+	// Latency is the end-to-end propagation latency between two HCAs.
+	Latency sim.Time
+
+	// PerMsgOverhead is the send-side posting cost per message.
+	PerMsgOverhead sim.Time
+
+	// RegCost is the one-time cost of registering a memory region with
+	// the HCA; registrations are cached, as in the paper's one-time
+	// RDMA connection establishment.
+	RegCost sim.Time
+
+	// GPUDirectReadGBps caps RDMA reads that target GPU memory directly
+	// (GPUDirect RDMA). On Kepler/IVB platforms this path is far below
+	// the wire rate for large messages, which is why the openib BTL
+	// stages large fragments through host memory.
+	GPUDirectReadGBps float64
+}
+
+// DefaultParams returns the PSG-cluster-like FDR calibration.
+func DefaultParams() Params {
+	return Params{
+		WireGBps:          6.0,
+		Latency:           1300 * sim.Nanosecond,
+		PerMsgOverhead:    600 * sim.Nanosecond,
+		RegCost:           30 * sim.Microsecond,
+		GPUDirectReadGBps: 0.9,
+	}
+}
+
+// Fabric is a set of interconnected HCAs.
+type Fabric struct {
+	eng    *sim.Engine
+	params Params
+	hcas   []*HCA
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric(eng *sim.Engine, p Params) *Fabric {
+	return &Fabric{eng: eng, params: p}
+}
+
+// Params returns the fabric calibration.
+func (f *Fabric) Params() Params { return f.params }
+
+// HCA is one node's host channel adapter.
+type HCA struct {
+	f     *Fabric
+	node  *pcie.Node
+	tx    *sim.Link
+	rx    *sim.Link
+	inbox *sim.Mailbox
+	regs  map[regKey]bool
+}
+
+type regKey struct {
+	space *mem.Space
+	addr  int64
+}
+
+// Attach creates an HCA on node and joins it to the fabric.
+func (f *Fabric) Attach(node *pcie.Node) *HCA {
+	h := &HCA{
+		f:     f,
+		node:  node,
+		tx:    f.eng.NewLink(fmt.Sprintf("ib%d.tx", node.ID()), f.params.WireGBps, f.params.Latency/2),
+		rx:    f.eng.NewLink(fmt.Sprintf("ib%d.rx", node.ID()), f.params.WireGBps, f.params.Latency/2),
+		inbox: f.eng.NewMailbox(fmt.Sprintf("ib%d.inbox", node.ID())),
+		regs:  make(map[regKey]bool),
+	}
+	f.hcas = append(f.hcas, h)
+	return h
+}
+
+// Node returns the node this HCA is attached to.
+func (h *HCA) Node() *pcie.Node { return h.node }
+
+// Inbox returns the mailbox where received messages appear (in order).
+func (h *HCA) Inbox() *sim.Mailbox { return h.inbox }
+
+// Register pins a memory region with the HCA, charging the registration
+// cost on first use of the region (cached afterwards).
+func (h *HCA) Register(p *sim.Proc, b mem.Buffer) {
+	key := regKey{space: b.Space(), addr: b.Addr()}
+	if !h.regs[key] {
+		p.Sleep(h.f.params.RegCost)
+		h.regs[key] = true
+	}
+}
+
+// pathTo returns the store-and-forward path to a peer HCA.
+func (h *HCA) pathTo(peer *HCA) *sim.Path {
+	return &sim.Path{
+		Name:  fmt.Sprintf("ib%d->ib%d", h.node.ID(), peer.node.ID()),
+		Links: []*sim.Link{h.tx, peer.rx},
+	}
+}
+
+// Send transmits a message of n wire bytes carrying payload to peer,
+// blocking the caller until injection and delivering the payload to the
+// peer's inbox after the wire time. Messages between a pair of HCAs are
+// delivered in order (the links are FIFO).
+func (h *HCA) Send(p *sim.Proc, peer *HCA, n int64, payload interface{}) {
+	p.Sleep(h.f.params.PerMsgOverhead)
+	h.pathTo(peer).Occupy(p, n)
+	peer.inbox.PutAfter(h.f.params.Latency, payload)
+}
+
+// Write performs an RDMA write of src (local, registered) into dst
+// (remote, registered), blocking until remote completion. Data lands in
+// the remote buffer's real bytes.
+func (h *HCA) Write(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
+	if dst.Len() != src.Len() {
+		panic("ib: RDMA write length mismatch")
+	}
+	p.Sleep(h.f.params.PerMsgOverhead)
+	h.pathTo(peer).Transfer(p, h.wireBytes(src))
+	mem.Copy(dst, src)
+}
+
+// Read performs an RDMA read of src (remote, registered) into dst
+// (local), blocking until the data has arrived. A read costs one extra
+// round-trip latency for the request.
+func (h *HCA) Read(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
+	if dst.Len() != src.Len() {
+		panic("ib: RDMA read length mismatch")
+	}
+	p.Sleep(h.f.params.PerMsgOverhead + h.f.params.Latency)
+	peer.pathTo(h).Transfer(p, peer.wireBytes(src))
+	mem.Copy(dst, src)
+}
+
+// wireBytes inflates the transfer size when src or dst is GPU memory and
+// the GPUDirect path throttles below the wire rate.
+func (h *HCA) wireBytes(b mem.Buffer) int64 {
+	if b.Kind() != mem.Device {
+		return b.Len()
+	}
+	gd := h.f.params.GPUDirectReadGBps
+	if gd <= 0 || gd >= h.f.params.WireGBps {
+		return b.Len()
+	}
+	return int64(float64(b.Len()) * h.f.params.WireGBps / gd)
+}

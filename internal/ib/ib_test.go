@@ -1,0 +1,155 @@
+package ib
+
+import (
+	"testing"
+
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/sim"
+)
+
+func twoNodes(t *testing.T) (*sim.Engine, *HCA, *HCA) {
+	t.Helper()
+	e := sim.NewEngine()
+	f := NewFabric(e, DefaultParams())
+	n0 := pcie.NewNode(e, 0, 1, gpu.KeplerK40(), pcie.DefaultParams())
+	n1 := pcie.NewNode(e, 1, 1, gpu.KeplerK40(), pcie.DefaultParams())
+	return e, f.Attach(n0), f.Attach(n1)
+}
+
+func TestSendDeliversInOrder(t *testing.T) {
+	e, a, b := twoNodes(t)
+	var got []int
+	e.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			a.Send(p, b, 64, i)
+		}
+	})
+	e.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, b.Inbox().Get(p).(int))
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestWriteMovesDataAtWireRate(t *testing.T) {
+	e, a, b := twoNodes(t)
+	src := a.Node().Host().Alloc(60<<20, 256)
+	dst := b.Node().Host().Alloc(60<<20, 256)
+	mem.FillPattern(src, 11)
+	var dur sim.Time
+	e.Spawn("sender", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.Write(p, b, dst, src)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	if !mem.Equal(src, dst) {
+		t.Fatal("RDMA write did not move data")
+	}
+	wire := sim.TimeForBytes(60<<20, DefaultParams().WireGBps) // bottleneck hop (cut-through)
+	if dur < wire || dur > wire+10*sim.Microsecond {
+		t.Fatalf("dur = %v, wire = %v", dur, wire)
+	}
+}
+
+func TestReadCostsExtraRoundTrip(t *testing.T) {
+	e, a, b := twoNodes(t)
+	remote := b.Node().Host().Alloc(1<<20, 256)
+	local := a.Node().Host().Alloc(1<<20, 256)
+	mem.FillPattern(remote, 4)
+	var wDur, rDur sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.Write(p, b, remote, local)
+		wDur = p.Now() - t0
+		t0 = p.Now()
+		a.Read(p, b, local, remote)
+		rDur = p.Now() - t0
+	})
+	e.Run()
+	if !mem.Equal(remote, local) {
+		t.Fatal("read corrupt")
+	}
+	if rDur <= wDur {
+		t.Fatalf("read %v not slower than write %v", rDur, wDur)
+	}
+}
+
+func TestGPUDirectThrottled(t *testing.T) {
+	e, a, b := twoNodes(t)
+	devSrc := a.Node().GPU(0).Mem().Alloc(10<<20, 256)
+	hostSrc := a.Node().Host().Alloc(10<<20, 256)
+	dst := b.Node().Host().Alloc(10<<20, 256)
+	var devDur, hostDur sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.Write(p, b, dst, hostSrc)
+		hostDur = p.Now() - t0
+		t0 = p.Now()
+		a.Write(p, b, dst, devSrc)
+		devDur = p.Now() - t0
+	})
+	e.Run()
+	if devDur < hostDur*4 {
+		t.Fatalf("GPUDirect large-message path not throttled: dev %v host %v", devDur, hostDur)
+	}
+}
+
+func TestRegistrationCached(t *testing.T) {
+	e, a, _ := twoNodes(t)
+	buf := a.Node().Host().Alloc(4096, 256)
+	var first, second sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.Register(p, buf)
+		first = p.Now() - t0
+		t0 = p.Now()
+		a.Register(p, buf)
+		second = p.Now() - t0
+	})
+	e.Run()
+	if first != DefaultParams().RegCost || second != 0 {
+		t.Fatalf("reg costs: first %v second %v", first, second)
+	}
+}
+
+func TestConcurrentSendersShareReceiverRx(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFabric(e, DefaultParams())
+	nodes := make([]*HCA, 3)
+	for i := range nodes {
+		nodes[i] = f.Attach(pcie.NewNode(e, i, 0, gpu.KeplerK40(), pcie.DefaultParams()))
+	}
+	dstA := nodes[2].Node().Host().Alloc(60<<20, 256)
+	dstB := nodes[2].Node().Host().Alloc(60<<20, 256)
+	var ends [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		src := nodes[i].Node().Host().Alloc(60<<20, 256)
+		dst := dstA
+		if i == 1 {
+			dst = dstB
+		}
+		e.Spawn("s", func(p *sim.Proc) {
+			nodes[i].Write(p, nodes[2], dst, src)
+			ends[i] = p.Now()
+		})
+	}
+	e.Run()
+	one := sim.TimeForBytes(60<<20, DefaultParams().WireGBps)
+	later := ends[0]
+	if ends[1] > later {
+		later = ends[1]
+	}
+	if later < 2*one-sim.Microsecond {
+		t.Fatalf("receiver rx not shared: last end %v, one-transfer time %v", later, one)
+	}
+}

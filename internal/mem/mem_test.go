@@ -1,0 +1,111 @@
+package mem
+
+import "testing"
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace("s", Device, 1<<20)
+	a := s.Alloc(10, 0)
+	if a.Addr()%256 != 0 {
+		t.Fatalf("default alignment: addr %d", a.Addr())
+	}
+	b := s.Alloc(10, 1024)
+	if b.Addr()%1024 != 0 {
+		t.Fatalf("1KB alignment: addr %d", b.Addr())
+	}
+	if b.Addr() < a.Addr()+a.Len() {
+		t.Fatalf("overlapping allocations: %v %v", a, b)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s := NewSpace("s", Host, 100)
+	s.Alloc(200, 1)
+}
+
+func TestSliceBounds(t *testing.T) {
+	s := NewSpace("s", Host, 1000)
+	b := s.Alloc(100, 1)
+	sub := b.Slice(10, 20)
+	if sub.Len() != 20 || sub.Addr() != b.Addr()+10 {
+		t.Fatalf("slice = %v", sub)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range slice")
+		}
+	}()
+	b.Slice(90, 20)
+}
+
+func TestBytesWritesAreVisible(t *testing.T) {
+	s := NewSpace("s", Device, 1000)
+	b := s.Alloc(16, 1)
+	b.Bytes()[3] = 0xAB
+	again := s.BufferAt(b.Addr(), b.Len())
+	if again.Bytes()[3] != 0xAB {
+		t.Fatal("write not visible through BufferAt")
+	}
+}
+
+func TestBytesCapacityClamped(t *testing.T) {
+	s := NewSpace("s", Host, 1000)
+	a := s.Alloc(16, 1)
+	bs := a.Bytes()
+	if cap(bs) != 16 {
+		t.Fatalf("cap = %d, want 16", cap(bs))
+	}
+}
+
+func TestCopyAndEqual(t *testing.T) {
+	s := NewSpace("s", Host, 1000)
+	a := s.Alloc(64, 1)
+	b := s.Alloc(64, 1)
+	FillPattern(a, 7)
+	if Equal(a, b) {
+		t.Fatal("distinct buffers compare equal")
+	}
+	if n := Copy(b, a); n != 64 {
+		t.Fatalf("copied %d", n)
+	}
+	if !Equal(a, b) {
+		t.Fatal("copy not equal")
+	}
+}
+
+func TestFillPatternDistinctSeeds(t *testing.T) {
+	s := NewSpace("s", Host, 1000)
+	a := s.Alloc(64, 1)
+	b := s.Alloc(64, 1)
+	FillPattern(a, 1)
+	FillPattern(b, 2)
+	if Equal(a, b) {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestBufferAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s := NewSpace("s", Host, 100)
+	s.BufferAt(90, 20)
+}
+
+func TestFreeWrongSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s1 := NewSpace("a", Host, 100)
+	s2 := NewSpace("b", Host, 100)
+	b := s1.Alloc(10, 1)
+	s2.Free(b)
+}

@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"gpuddt/internal/ib"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Kind identifies the BTL a channel uses.
+type Kind int
+
+// Channel kinds.
+const (
+	SM Kind = iota // shared-memory BTL (smcuda): same node
+	IB             // openib BTL: across nodes
+)
+
+func (k Kind) String() string {
+	if k == SM {
+		return "smcuda"
+	}
+	return "openib"
+}
+
+// amHeaderBytes is the wire size of an active-message header (callback
+// reference plus fragment control fields, §4.1).
+const amHeaderBytes = 64
+
+// amsg is a delivered active message: the callback runs on the
+// receiving rank's progress process.
+type amsg struct {
+	fn func(p *sim.Proc)
+}
+
+// Channel is the unidirectional BTL connection from one rank to another.
+// Active messages arrive in order; payload-bearing operations charge the
+// appropriate interconnect.
+type Channel struct {
+	w    *World
+	kind Kind
+	src  *Rank
+	dst  *Rank
+
+	// IB endpoints (nil for SM).
+	srcHCA, dstHCA *ib.HCA
+}
+
+func newChannel(w *World, src, dst *Rank) *Channel {
+	c := &Channel{w: w, src: src, dst: dst}
+	if src.place.Node == dst.place.Node {
+		c.kind = SM
+		return c
+	}
+	c.kind = IB
+	c.srcHCA = w.hcas[src.place.Node]
+	c.dstHCA = w.hcas[dst.place.Node]
+	return c
+}
+
+// routed wraps an active message with its destination rank so the
+// per-node HCA router (started by NewWorld) can deliver it.
+type routed struct {
+	dst *Rank
+	am  amsg
+}
+
+// Kind returns the BTL kind.
+func (c *Channel) Kind() Kind { return c.kind }
+
+// Peer returns the destination rank handle.
+func (c *Channel) Peer() *Rank { return c.dst }
+
+// SameDevice reports whether both endpoints use the same GPU of the
+// same node (the 1GPU configuration).
+func (c *Channel) SameDevice() bool {
+	return c.kind == SM && c.src.place.GPU == c.dst.place.GPU
+}
+
+// AM sends an active message of wireBytes whose callback fn executes on
+// the destination rank's progress process, in order with other AMs on
+// this channel.
+func (c *Channel) AM(p *sim.Proc, wireBytes int64, fn func(p *sim.Proc)) {
+	switch c.kind {
+	case SM:
+		// Shared-memory FIFO: fixed injection cost, tiny latency.
+		c.dst.inbox.PutAfter(c.w.cfg.Proto.AMLatency, amsg{fn: fn})
+	default:
+		c.srcHCA.Send(p, c.dstHCA, wireBytes, routed{dst: c.dst, am: amsg{fn: fn}})
+	}
+}
+
+// Put transfers payload bytes from a sender-side host buffer into a
+// receiver-side host buffer (RDMA write for IB; a shared-memory copy via
+// the host bus for SM), blocking the caller until remote completion.
+func (c *Channel) Put(p *sim.Proc, dst, src mem.Buffer) {
+	switch c.kind {
+	case SM:
+		c.src.ctx.Node().HostCopy(p, dst, src)
+	default:
+		c.srcHCA.Register(p, src)
+		c.dstHCA.Register(p, dst)
+		c.srcHCA.Write(p, c.dstHCA, dst, src)
+	}
+}

@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+// Collectives built on the datatype-aware point-to-point layer. The
+// paper's conclusion positions the GPU datatype engine as the substrate
+// for "any point-to-point, collective, I/O and one-sided" operation;
+// these two collectives demonstrate that the engine composes: every hop
+// packs/unpacks GPU-resident non-contiguous data through the same
+// pipelined protocols.
+
+// collTagBase keeps collective traffic out of the user's tag space.
+const collTagBase = 1 << 20
+
+// Bcast broadcasts count elements of dt from root over a binomial tree.
+// Every rank's buf must describe the same signature.
+func (m *Rank) Bcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
+	size := m.Size()
+	if size == 1 {
+		return
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (m.rank - root + size) % size
+	tag := collTagBase + m.collSeq
+	m.collSeq++
+
+	// Receive from the parent (highest set bit), then forward to
+	// children in decreasing mask order — the classic binomial tree.
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % size
+			m.Recv(buf, dt, count, parent, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := (vrank + mask + root) % size
+			m.Send(buf, dt, count, child, tag)
+		}
+		mask >>= 1
+	}
+}
+
+// Allgather gathers each rank's count elements of dt (read from its slot
+// of buf) into every rank's buf, using the ring algorithm: buf must hold
+// Size() consecutive (dt, count) slots, each starting at
+// rank*count*extent. GPU-resident non-contiguous slots are packed and
+// unpacked by the datatype engine on every hop.
+func (m *Rank) Allgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
+	size := m.Size()
+	if size == 1 {
+		return
+	}
+	tag := collTagBase + m.collSeq
+	m.collSeq += size
+	stride := int64(count) * dt.Extent()
+	sliceLen := spanOf(dt, count)
+	slot := func(r int) mem.Buffer {
+		return buf.Slice(int64(r)*stride, sliceLen)
+	}
+	right := (m.rank + 1) % size
+	left := (m.rank - 1 + size) % size
+	// In step s, send the block originally owned by (rank-s) to the
+	// right neighbour and receive block (rank-s-1) from the left.
+	for s := 0; s < size-1; s++ {
+		sendBlk := (m.rank - s + size) % size
+		recvBlk := (m.rank - s - 1 + size) % size
+		sreq := m.Isend(slot(sendBlk), dt, count, right, tag+s)
+		rreq := m.Irecv(slot(recvBlk), dt, count, left, tag+s)
+		sreq.Wait(m.p)
+		rreq.Wait(m.p)
+	}
+}
+
+// spanOf is the memory footprint of (dt, count) from the origin.
+func spanOf(dt *datatype.Datatype, count int) int64 {
+	if count == 0 {
+		return 0
+	}
+	return int64(count-1)*dt.Extent() + dt.TrueLB() + dt.TrueExtent()
+}

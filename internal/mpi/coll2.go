@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+// Gather collects each rank's (sendBuf, sdt, scount) into rank root's
+// recvBuf, where slot r starts at r*rcount*extent(rdt). Linear
+// algorithm; non-root ranks pass an invalid recvBuf.
+func (m *Rank) Gather(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += size
+	if m.rank != root {
+		m.Send(sendBuf, sdt, scount, root, tag+m.rank)
+		return
+	}
+	stride := int64(rcount) * rdt.Extent()
+	sliceLen := spanOf(rdt, rcount)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		slot := recvBuf.Slice(int64(r)*stride, sliceLen)
+		if r == root {
+			// Local copy through the datatype engines.
+			m.localCopy(sendBuf, sdt, scount, slot, rdt, rcount)
+			continue
+		}
+		reqs = append(reqs, m.Irecv(slot, rdt, rcount, r, tag+r))
+	}
+	for _, rq := range reqs {
+		rq.Wait(m.p)
+	}
+}
+
+// Scatter distributes slot r of root's sendBuf (r*scount*extent(sdt))
+// to rank r's recvBuf. Linear algorithm.
+func (m *Rank) Scatter(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += size
+	if m.rank != root {
+		m.Recv(recvBuf, rdt, rcount, root, tag+m.rank)
+		return
+	}
+	stride := int64(scount) * sdt.Extent()
+	sliceLen := spanOf(sdt, scount)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		slot := sendBuf.Slice(int64(r)*stride, sliceLen)
+		if r == root {
+			m.localCopy(slot, sdt, scount, recvBuf, rdt, rcount)
+			continue
+		}
+		reqs = append(reqs, m.Isend(slot, sdt, scount, r, tag+r))
+	}
+	for _, rq := range reqs {
+		rq.Wait(m.p)
+	}
+}
+
+// Alltoall exchanges slot j of every rank's sendBuf with slot i of rank
+// j's recvBuf (the building block of distributed transposes and FFTs).
+// Pairwise-exchange algorithm: step s pairs rank with rank^s when the
+// size is a power of two, and (rank+s, rank-s) otherwise.
+func (m *Rank) Alltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += size
+	sstride := int64(scount) * sdt.Extent()
+	rstride := int64(rcount) * rdt.Extent()
+	sLen := spanOf(sdt, scount)
+	rLen := spanOf(rdt, rcount)
+
+	// Local slot first.
+	m.localCopy(
+		sendBuf.Slice(int64(m.rank)*sstride, sLen), sdt, scount,
+		recvBuf.Slice(int64(m.rank)*rstride, rLen), rdt, rcount)
+
+	pow2 := size&(size-1) == 0
+	for s := 1; s < size; s++ {
+		var sendTo, recvFrom int
+		if pow2 {
+			sendTo = m.rank ^ s
+			recvFrom = sendTo
+		} else {
+			sendTo = (m.rank + s) % size
+			recvFrom = (m.rank - s + size) % size
+		}
+		sreq := m.Isend(sendBuf.Slice(int64(sendTo)*sstride, sLen), sdt, scount, sendTo, tag)
+		rreq := m.Irecv(recvBuf.Slice(int64(recvFrom)*rstride, rLen), rdt, rcount, recvFrom, tag)
+		sreq.Wait(m.p)
+		rreq.Wait(m.p)
+	}
+}
+
+// localCopy moves (src, sdt, scount) into (dst, rdt, rcount) within the
+// rank, through packed form: GPU layouts use the datatype engine (pack
+// to a device scratch, unpack from it); host layouts use the CPU
+// converter.
+func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
+	dst mem.Buffer, rdt *datatype.Datatype, rcount int) {
+	packed := int64(scount) * sdt.Size()
+	if capacity := int64(rcount) * rdt.Size(); packed > capacity {
+		panic("mpi: local copy truncation")
+	}
+	// Contiguous-to-contiguous short cut.
+	sw, sok := contigWindow(src, sdt, scount)
+	dw, dok := contigWindow(dst, rdt, rcount)
+	if sok && dok {
+		m.ctx.Memcpy(m.p, dw.Slice(0, packed), sw.Slice(0, packed))
+		return
+	}
+	var stage mem.Buffer
+	if src.Kind() == mem.Device || dst.Kind() == mem.Device {
+		// Stage in device memory on the rank's GPU.
+		stage = m.ringBuf(m.ctx.Node().GPU(m.place.GPU).Mem(), packed)
+	} else {
+		stage = m.scratch(packed)
+	}
+	window := stage.Slice(0, packed)
+	if src.Kind() == mem.Device {
+		m.engineFor(src).Pack(m.p, src, sdt, scount, window)
+	} else if window.Kind() == mem.Device {
+		// Host source into device stage: copy then treat as packed.
+		hs := m.scratch(packed)
+		m.CPUPack(m.p, src, sdt, scount, hs.Slice(0, packed))
+		m.ctx.Memcpy(m.p, window, hs.Slice(0, packed))
+		m.freeScratch(hs)
+	} else {
+		m.CPUPack(m.p, src, sdt, scount, window)
+	}
+	if dst.Kind() == mem.Device {
+		m.engineFor(dst).Unpack(m.p, dst, rdt, rcount, window)
+	} else if window.Kind() == mem.Device {
+		hs := m.scratch(packed)
+		m.ctx.Memcpy(m.p, hs.Slice(0, packed), window)
+		m.CPUUnpack(m.p, dst, rdt, rcount, hs.Slice(0, packed))
+		m.freeScratch(hs)
+	} else {
+		m.CPUUnpack(m.p, dst, rdt, rcount, window)
+	}
+	if stage.Kind() == mem.Device {
+		m.releaseRing(stage)
+	} else {
+		m.freeScratch(stage)
+	}
+}

@@ -1,0 +1,363 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+// layoutSpan is the memory footprint of (dt, count).
+func layoutSpan(dt *datatype.Datatype, count int) int64 {
+	if count == 0 {
+		return 0
+	}
+	return int64(count-1)*dt.Extent() + dt.TrueLB() + dt.TrueExtent()
+}
+
+func cpuPack(dt *datatype.Datatype, count int, src []byte) []byte {
+	c := datatype.NewConverter(dt, count)
+	out := make([]byte, c.Total())
+	c.Pack(out, src)
+	return out
+}
+
+// xfer runs a single Send/Recv between rank 0 and rank 1 with the given
+// buffers/types and returns the packed images of both sides.
+type xferSpec struct {
+	cfg    Config
+	sendDt *datatype.Datatype
+	recvDt *datatype.Datatype
+	count  int
+	rcount int
+	sGPU   bool // sender data on GPU
+	rGPU   bool
+}
+
+func runXfer(t *testing.T, sp xferSpec) (sentPacked, recvPacked []byte, elapsed sim.Time) {
+	t.Helper()
+	if sp.rcount == 0 {
+		sp.rcount = sp.count
+	}
+	if sp.recvDt == nil {
+		sp.recvDt = sp.sendDt
+	}
+	w := NewWorld(sp.cfg)
+	var sbuf, rbuf mem.Buffer
+	var dur sim.Time
+	w.Run(func(m *Rank) {
+		switch m.Rank() {
+		case 0:
+			if sp.sGPU {
+				sbuf = m.Malloc(layoutSpan(sp.sendDt, sp.count))
+			} else {
+				sbuf = m.MallocHost(layoutSpan(sp.sendDt, sp.count))
+			}
+			mem.FillPattern(sbuf, 99)
+			m.Barrier()
+			t0 := m.Now()
+			m.Send(sbuf, sp.sendDt, sp.count, 1, 7)
+			dur = m.Now() - t0
+		case 1:
+			if sp.rGPU {
+				rbuf = m.Malloc(layoutSpan(sp.recvDt, sp.rcount))
+			} else {
+				rbuf = m.MallocHost(layoutSpan(sp.recvDt, sp.rcount))
+			}
+			mem.Fill(rbuf, 0)
+			m.Barrier()
+			m.Recv(rbuf, sp.recvDt, sp.rcount, 0, 7)
+		}
+	})
+	elapsed = dur
+	return cpuPack(sp.sendDt, sp.count, sbuf.Bytes()), cpuPack(sp.recvDt, sp.rcount, rbuf.Bytes()), elapsed
+}
+
+func twoRanksSameGPU() Config {
+	return Config{Ranks: []Placement{{0, 0}, {0, 0}}}
+}
+func twoRanksTwoGPUs() Config {
+	return Config{Ranks: []Placement{{0, 0}, {0, 1}}}
+}
+func twoNodes() Config {
+	return Config{Ranks: []Placement{{0, 0}, {1, 0}}}
+}
+
+func TestEagerHostToHost(t *testing.T) {
+	s, r, _ := runXfer(t, xferSpec{
+		cfg:    twoRanksSameGPU(),
+		sendDt: datatype.Contiguous(1000, datatype.Float64), // 8 KB: eager
+		count:  1,
+	})
+	if !bytes.Equal(s, r) {
+		t.Fatal("eager payload mismatch")
+	}
+}
+
+func TestEagerGPUToGPU(t *testing.T) {
+	s, r, _ := runXfer(t, xferSpec{
+		cfg:    twoRanksTwoGPUs(),
+		sendDt: shapes.SubMatrix(16, 16, 32), // 2 KB packed
+		count:  1, sGPU: true, rGPU: true,
+	})
+	if !bytes.Equal(s, r) {
+		t.Fatal("eager GPU payload mismatch")
+	}
+}
+
+func rendezvousMatrix(t *testing.T, cfg Config, name string) {
+	n := 512 // 2 MB matrix: rendezvous
+	layouts := []struct {
+		label string
+		dt    *datatype.Datatype
+	}{
+		{"vector", shapes.SubMatrix(n/2, n/2, n)},
+		{"triangular", shapes.LowerTriangular(n)},
+		{"contiguous", shapes.FullMatrix(n)},
+	}
+	for _, l := range layouts {
+		for _, loc := range []struct {
+			label      string
+			sGPU, rGPU bool
+		}{
+			{"g2g", true, true},
+			{"g2h", true, false},
+			{"h2g", false, true},
+			{"h2h", false, false},
+		} {
+			t.Run(fmt.Sprintf("%s/%s/%s", name, l.label, loc.label), func(t *testing.T) {
+				s, r, _ := runXfer(t, xferSpec{cfg: cfg, sendDt: l.dt, count: 1, sGPU: loc.sGPU, rGPU: loc.rGPU})
+				if !bytes.Equal(s, r) {
+					t.Fatal("payload mismatch")
+				}
+			})
+		}
+	}
+}
+
+func TestRendezvousSameGPU(t *testing.T) { rendezvousMatrix(t, twoRanksSameGPU(), "1gpu") }
+func TestRendezvousTwoGPUs(t *testing.T) { rendezvousMatrix(t, twoRanksTwoGPUs(), "2gpu") }
+func TestRendezvousIB(t *testing.T)      { rendezvousMatrix(t, twoNodes(), "ib") }
+
+func TestVectorToContiguousReshape(t *testing.T) {
+	// Fig. 11: sender vector, receiver contiguous (and the reverse).
+	n := 512
+	vec := shapes.SubMatrix(n, n/2, n)
+	contig := datatype.Contiguous(n*n/2, datatype.Float64)
+	for _, cfg := range []Config{twoRanksSameGPU(), twoRanksTwoGPUs(), twoNodes()} {
+		s, r, _ := runXfer(t, xferSpec{cfg: cfg, sendDt: vec, recvDt: contig, count: 1, sGPU: true, rGPU: true})
+		if !bytes.Equal(s, r) {
+			t.Fatal("vector->contiguous mismatch")
+		}
+		s, r, _ = runXfer(t, xferSpec{cfg: cfg, sendDt: contig, recvDt: vec, count: 1, sGPU: true, rGPU: true})
+		if !bytes.Equal(s, r) {
+			t.Fatal("contiguous->vector mismatch")
+		}
+	}
+}
+
+func TestTransposeTransfer(t *testing.T) {
+	n := 96
+	s, r, _ := runXfer(t, xferSpec{
+		cfg:    twoRanksTwoGPUs(),
+		sendDt: shapes.Transpose(n),
+		recvDt: shapes.FullMatrix(n),
+		count:  1, sGPU: true, rGPU: true,
+	})
+	if !bytes.Equal(s, r) {
+		t.Fatal("transpose transfer mismatch")
+	}
+}
+
+func TestUnexpectedMessageAndWildcards(t *testing.T) {
+	w := NewWorld(twoRanksSameGPU())
+	var got []byte
+	var want []byte
+	w.Run(func(m *Rank) {
+		if m.Rank() == 0 {
+			buf := m.MallocHost(4096)
+			mem.FillPattern(buf, 5)
+			want = append([]byte(nil), buf.Bytes()...)
+			m.Send(buf, datatype.Contiguous(4096, datatype.Byte), 1, 1, 42)
+		} else {
+			// Delay so the message is unexpected, then wildcard-receive.
+			m.Proc().Sleep(5 * sim.Millisecond)
+			buf := m.MallocHost(4096)
+			m.Recv(buf, datatype.Contiguous(4096, datatype.Byte), 1, AnySource, AnyTag)
+			got = append([]byte(nil), buf.Bytes()...)
+		}
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatal("unexpected-path payload mismatch")
+	}
+}
+
+func TestMessageOrderingSameTag(t *testing.T) {
+	w := NewWorld(twoRanksSameGPU())
+	var first, second byte
+	w.Run(func(m *Rank) {
+		dt := datatype.Contiguous(1024, datatype.Byte)
+		if m.Rank() == 0 {
+			a := m.MallocHost(1024)
+			b := m.MallocHost(1024)
+			mem.Fill(a, 0xAA)
+			mem.Fill(b, 0xBB)
+			m.Send(a, dt, 1, 1, 3)
+			m.Send(b, dt, 1, 1, 3)
+		} else {
+			a := m.MallocHost(1024)
+			b := m.MallocHost(1024)
+			m.Recv(a, dt, 1, 0, 3)
+			m.Recv(b, dt, 1, 0, 3)
+			first, second = a.Bytes()[0], b.Bytes()[0]
+		}
+	})
+	if first != 0xAA || second != 0xBB {
+		t.Fatalf("messages reordered: %x %x", first, second)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	w := NewWorld(twoRanksTwoGPUs())
+	dt := shapes.FullMatrix(512)
+	ok := true
+	w.Run(func(m *Rank) {
+		buf := m.Malloc(layoutSpan(dt, 1))
+		peer := 1 - m.Rank()
+		s := m.Isend(buf, dt, 1, peer, 1)
+		r := m.Irecv(m.Malloc(layoutSpan(dt, 1)), dt, 1, peer, 1)
+		s.Wait(m.Proc())
+		r.Wait(m.Proc())
+		if !s.Done() || !r.Done() {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("requests not complete after Wait")
+	}
+}
+
+func TestTruncationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no truncation panic")
+		}
+	}()
+	w := NewWorld(twoRanksSameGPU())
+	w.Run(func(m *Rank) {
+		dt := datatype.Contiguous(1024, datatype.Byte)
+		small := datatype.Contiguous(512, datatype.Byte)
+		if m.Rank() == 0 {
+			m.Send(m.MallocHost(1024), dt, 1, 1, 0)
+		} else {
+			m.Recv(m.MallocHost(512), small, 1, 0, 0)
+		}
+	})
+}
+
+func TestOneGPUFasterThanTwoGPUs(t *testing.T) {
+	dt := shapes.SubMatrix(1024, 1024, 2048) // 8 MB packed
+	_, _, one := runXfer(t, xferSpec{cfg: twoRanksSameGPU(), sendDt: dt, count: 1, sGPU: true, rGPU: true})
+	_, _, two := runXfer(t, xferSpec{cfg: twoRanksTwoGPUs(), sendDt: dt, count: 1, sGPU: true, rGPU: true})
+	if two < 2*one {
+		t.Fatalf("1GPU (%v) should be at least 2x faster than 2GPU (%v)", one, two)
+	}
+}
+
+func TestPipelineApproachesPCIeBandwidth(t *testing.T) {
+	// Fig. 9's premise: the pipelined protocol should push a large vector
+	// near the PCIe bandwidth between two GPUs. Run a few iterations so
+	// the DEV cache and IPC mappings are warm.
+	n := 2048
+	dt := shapes.SubMatrix(n, n, n) // 32 MB
+	w := NewWorld(twoRanksTwoGPUs())
+	var per sim.Time
+	iters := 4
+	w.Run(func(m *Rank) {
+		span := layoutSpan(dt, 1)
+		buf := m.Malloc(span)
+		if m.Rank() == 0 {
+			m.Barrier()
+			for i := 0; i < iters+1; i++ {
+				if i == 1 {
+					per = m.Now() // skip warmup iteration
+				}
+				m.Send(buf, dt, 1, 1, i)
+			}
+			per = (m.Now() - per) / sim.Time(iters)
+		} else {
+			m.Barrier()
+			for i := 0; i < iters+1; i++ {
+				m.Recv(buf, dt, 1, 0, i)
+			}
+		}
+	})
+	bw := sim.GBps(dt.Size(), per)
+	peer := 10.5 * 10 / 10.5 // bottleneck is the slot link at 10.5, root not involved for P2P
+	if bw < 0.80*peer {
+		t.Fatalf("pipelined vector bandwidth %.2f GB/s, want >= 80%% of %v", bw, peer)
+	}
+	t.Logf("P2P pipelined vector bandwidth: %.2f GB/s (%.0f%% of peak)", bw, 100*bw/10.5)
+}
+
+func TestIBPipelineApproachesWire(t *testing.T) {
+	n := 2048
+	dt := shapes.SubMatrix(n, n, n)
+	w := NewWorld(twoNodes())
+	var per sim.Time
+	iters := 4
+	w.Run(func(m *Rank) {
+		buf := m.Malloc(layoutSpan(dt, 1))
+		if m.Rank() == 0 {
+			m.Barrier()
+			for i := 0; i < iters+1; i++ {
+				if i == 1 {
+					per = m.Now()
+				}
+				m.Send(buf, dt, 1, 1, i)
+			}
+			per = (m.Now() - per) / sim.Time(iters)
+		} else {
+			m.Barrier()
+			for i := 0; i < iters+1; i++ {
+				m.Recv(buf, dt, 1, 0, i)
+			}
+		}
+	})
+	bw := sim.GBps(dt.Size(), per)
+	if bw < 0.80*6.0 {
+		t.Fatalf("IB pipelined vector bandwidth %.2f GB/s, want >= 80%% of 6", bw)
+	}
+	t.Logf("IB pipelined vector bandwidth: %.2f GB/s", bw)
+}
+
+func TestDirectRemoteUnpackSlower(t *testing.T) {
+	dt := shapes.LowerTriangular(1536)
+	staged := xferSpec{cfg: twoRanksTwoGPUs(), sendDt: dt, count: 1, sGPU: true, rGPU: true}
+	direct := staged
+	direct.cfg.Proto.DirectRemoteUnpack = true
+	_, _, ts := runXfer(t, staged)
+	_, _, td := runXfer(t, direct)
+	if td <= ts {
+		t.Fatalf("direct remote unpack (%v) should be slower than staged (%v)", td, ts)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := NewWorld(Config{Ranks: []Placement{{0, 0}, {0, 0}, {0, 0}}})
+	var times [3]sim.Time
+	w.Run(func(m *Rank) {
+		m.Proc().Sleep(sim.Time(m.Rank()) * sim.Millisecond)
+		m.Barrier()
+		times[m.Rank()] = m.Now()
+	})
+	for r := 1; r < 3; r++ {
+		if times[r] < 2*sim.Millisecond {
+			t.Fatalf("rank %d left barrier at %v before the slowest rank entered", r, times[r])
+		}
+	}
+}

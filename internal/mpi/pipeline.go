@@ -1,0 +1,429 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/core"
+	"gpuddt/internal/cuda"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// PipelinedStrategy implements the paper's protocols (§4): a
+// receiver-driven pipelined RDMA protocol over the shared-memory BTL
+// (CUDA IPC, fragment ring, ACK-based slot reuse, handshake fast paths
+// for contiguous endpoints) and a pipelined copy-in/out protocol over
+// the InfiniBand BTL (zero-copy host staging on both sides).
+type PipelinedStrategy struct{}
+
+// Name implements Strategy.
+func (s *PipelinedStrategy) Name() string { return "pipelined" }
+
+// rendInfo is the RTS payload: the handshake information the receiver
+// uses to pick a transfer plan (§4.1).
+type rendInfo struct {
+	op *SendOp
+	st *senderState // nil when the sender has nothing to do (SM contiguous)
+
+	// contig is the sender's packed data window when the send datatype
+	// is contiguous; over SM the receiver consumes it in place.
+	contig    mem.Buffer
+	contigIPC cuda.IpcHandle // valid when contig is device memory
+}
+
+// senderState is the sender half of a rendezvous transfer, driven by
+// commands from the receiver.
+type senderState struct {
+	op   *SendOp
+	cmds *sim.Mailbox // the receiver's transfer-plan command
+	acks *sim.Mailbox // freed slot indices (ACK flow control)
+}
+
+// Receiver-to-sender commands.
+type cmdPackToRing struct {
+	events *sim.Mailbox // receiver's fragment-event queue
+}
+type cmdPackDirect struct {
+	dst    cuda.IpcHandle // receiver's contiguous region (device)
+	dstBuf mem.Buffer     // or host region (valid if not device)
+	isDev  bool
+	events *sim.Mailbox
+}
+type cmdSendIB struct {
+	ring   []mem.Buffer // receiver host ring slots (RDMA targets)
+	direct mem.Buffer   // receiver contiguous host window (skip ring)
+	events *sim.Mailbox
+}
+
+// fragEvt is a sender-to-receiver fragment notification.
+type fragEvt struct {
+	slot    int
+	off, n  int64
+	ring    mem.Buffer     // SM ring (host) — valid on first event
+	ringIPC cuda.IpcHandle // SM ring (device)
+	ringDev bool
+	last    bool
+}
+
+// contigWindow returns the packed window of (buf, dt, count) when the
+// layout is a single gap-free block.
+func contigWindow(buf mem.Buffer, dt *datatype.Datatype, count int) (mem.Buffer, bool) {
+	v := datatype.VectorViewN(dt, count)
+	if v == nil || v.Count != 1 {
+		return mem.Buffer{}, false
+	}
+	return buf.Slice(v.Off, v.BlockLen), true
+}
+
+// deviceOf returns the GPU index of a buffer on the rank's node, or -1.
+func (m *Rank) deviceOf(b mem.Buffer) int {
+	if b.Kind() == mem.Host {
+		return -1
+	}
+	return m.ctx.Node().DeviceOf(b.Space())
+}
+
+// engineFor returns the rank's datatype engine for the GPU owning buf.
+func (m *Rank) engineFor(b mem.Buffer) *core.Engine {
+	return m.engs[m.deviceOf(b)]
+}
+
+// StartSend implements Strategy: publish handshake info and, unless the
+// SM contiguous fast path applies, start a command-driven sender process.
+func (s *PipelinedStrategy) StartSend(op *SendOp) interface{} {
+	ri := &rendInfo{op: op}
+	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && op.Ch.Kind() == SM {
+		// §4.1: "if the sender datatype is contiguous, the receiver can
+		// use the sender buffer directly" — no sender-side work at all.
+		ri.contig = w
+		if w.Kind() == mem.Device {
+			ri.contigIPC = op.M.ctx.IpcGetMemHandle(w)
+		}
+		return ri
+	}
+	st := &senderState{
+		op:   op,
+		cmds: op.M.w.eng.NewMailbox(fmt.Sprintf("rank%d.sendcmds", op.M.rank)),
+		acks: op.M.w.eng.NewMailbox(fmt.Sprintf("rank%d.sendacks", op.M.rank)),
+	}
+	ri.st = st
+	op.M.w.eng.Spawn(fmt.Sprintf("rank%d.sendpipe", op.M.rank), func(p *sim.Proc) {
+		switch cmd := st.cmds.Get(p).(type) {
+		case cmdPackToRing:
+			st.runPackToRing(p, cmd)
+		case cmdPackDirect:
+			st.runPackDirect(p, cmd)
+		case cmdSendIB:
+			st.runSendIB(p, cmd)
+		default:
+			panic(fmt.Sprintf("mpi: unexpected sender command %T", cmd))
+		}
+	})
+	return ri
+}
+
+// notifyFrag sends the fragment AM to the receiver.
+func (st *senderState) notifyFrag(p *sim.Proc, events *sim.Mailbox, ev fragEvt) {
+	st.op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { events.Put(ev) })
+}
+
+// fragPlan iterates the message in pipeline fragments.
+func fragPlan(total, frag int64) []int64 {
+	var out []int64
+	for off := int64(0); off < total; off += frag {
+		n := frag
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// runPackToRing is the SM sender of the pipelined RDMA protocol: pack
+// fragments into a ring exposed over CUDA IPC, reusing slots as ACKs
+// arrive (§4.1, Fig. 4).
+func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
+	op := st.op
+	m := op.M
+	proto := &m.w.cfg.Proto
+	frag := proto.FragBytes
+	depth := proto.PipelineDepth
+	onGPU := op.Buf.Kind() == mem.Device
+
+	var ring mem.Buffer
+	if onGPU {
+		ring = m.ringBuf(op.Buf.Space(), frag*int64(depth))
+	} else {
+		ring = m.ringBuf(m.ctx.Node().Host(), frag*int64(depth))
+	}
+	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+
+	// st.acks doubles as the free-slot queue: preloaded with every slot,
+	// refilled by the receiver's ACK active messages.
+	for i := 0; i < depth; i++ {
+		st.acks.Put(i)
+	}
+	frags := fragPlan(op.Packed, frag)
+	var off int64
+	for i, n := range frags {
+		slot := st.acks.Get(p).(int)
+		prod.packInto(p, ring.Slice(int64(slot)*frag, n))
+		ev := fragEvt{slot: slot, off: off, n: n, last: i == len(frags)-1}
+		if i == 0 {
+			if onGPU {
+				ev.ringDev = true
+				ev.ringIPC = m.ctx.IpcGetMemHandle(ring)
+			} else {
+				ev.ring = ring
+			}
+		}
+		st.notifyFrag(p, cmd.events, ev)
+		off += n
+	}
+	// Wait until every slot has come home before reusing the ring.
+	for i := 0; i < depth; i++ {
+		st.acks.Get(p)
+	}
+	m.releaseRing(ring)
+	op.Req.done.Complete(nil)
+}
+
+// runPackDirect is the SM fast path when the receiver datatype is
+// contiguous: the sender packs straight into the receiver's memory
+// (same GPU: plain kernels; peer GPU: IPC-mapped zero-copy writes over
+// PCIe; host: UMA zero copy) — no unpack, no staging (§4.1).
+func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
+	op := st.op
+	m := op.M
+	dst := cmd.dstBuf
+	if cmd.isDev {
+		dst = m.ctx.IpcOpenMemHandle(p, cmd.dst)
+	}
+	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+	frag := m.w.cfg.Proto.FragBytes
+	var off int64
+	for _, n := range fragPlan(op.Packed, frag) {
+		prod.packInto(p, dst.Slice(off, n))
+		off += n
+	}
+	st.notifyFrag(p, cmd.events, fragEvt{off: 0, n: op.Packed, last: true})
+	op.Req.done.Complete(nil)
+}
+
+// runSendIB is the copy-in/out sender (§4.2): pack fragments into pinned
+// host memory with zero-copy kernels, RDMA them to the receiver's host
+// ring (or straight into a contiguous host receive buffer), overlapping
+// packing with wire transfer via a producer process.
+func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
+	op := st.op
+	m := op.M
+	proto := &m.w.cfg.Proto
+	frag := proto.FragBytes
+	frags := fragPlan(op.Packed, frag)
+
+	// Host-contiguous data needs no staging: RDMA from the user buffer.
+	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && w.Kind() == mem.Host {
+		var off int64
+		for i, n := range frags {
+			st.sendIBFrag(p, cmd, i, off, n, w.Slice(off, n))
+			off += n
+		}
+		op.Req.done.Complete(nil)
+		return
+	}
+
+	// Producer fills local host staging slots; this process drains them
+	// onto the wire, so pack(i+1) overlaps RDMA(i).
+	local := m.ringBuf(m.ctx.Node().Host(), 2*frag)
+	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+	type filledSlot struct {
+		ls int
+		n  int64
+	}
+	freeLocal := m.w.eng.NewMailbox("ib.freeLocal")
+	filled := m.w.eng.NewMailbox("ib.filled")
+	freeLocal.Put(0)
+	freeLocal.Put(1)
+	m.w.eng.Spawn(fmt.Sprintf("rank%d.ibpack", m.rank), func(pp *sim.Proc) {
+		for _, n := range frags {
+			ls := freeLocal.Get(pp).(int)
+			prod.packInto(pp, local.Slice(int64(ls)*frag, n))
+			filled.Put(filledSlot{ls: ls, n: n})
+		}
+	})
+	var off int64
+	for i := range frags {
+		f := filled.Get(p).(filledSlot)
+		st.sendIBFrag(p, cmd, i, off, f.n, local.Slice(int64(f.ls)*frag, f.n))
+		freeLocal.Put(f.ls)
+		off += f.n
+	}
+	m.releaseRing(local)
+	op.Req.done.Complete(nil)
+}
+
+// sendIBFrag RDMA-writes one packed fragment and notifies the receiver.
+// Ring mode waits for the target slot's ACK window.
+func (st *senderState) sendIBFrag(p *sim.Proc, cmd cmdSendIB, i int, off, n int64, src mem.Buffer) {
+	m := st.op.M
+	if cmd.direct.IsValid() {
+		st.op.Ch.Put(p, cmd.direct.Slice(off, n), src)
+		st.notifyFrag(p, cmd.events, fragEvt{slot: -1, off: off, n: n, last: off+n == st.op.Packed})
+		return
+	}
+	depth := len(cmd.ring)
+	slot := i % depth
+	if i >= depth {
+		st.acks.Get(p) // wait for the ACK freeing a slot (in order)
+	}
+	st.op.Ch.Put(p, cmd.ring[slot].Slice(0, n), src)
+	st.notifyFrag(p, cmd.events, fragEvt{slot: slot, off: off, n: n, last: off+n == st.op.Packed})
+	_ = m
+}
+
+// RunRecv implements Strategy: the receiver-driven side.
+func (s *PipelinedStrategy) RunRecv(p *sim.Proc, op *RecvOp, info interface{}) {
+	ri := info.(*rendInfo)
+	m := op.M
+	if op.Ch.Kind() == SM {
+		if ri.contig.IsValid() {
+			s.recvFromSenderWindow(p, op, ri)
+			return
+		}
+		if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok {
+			s.recvPackDirect(p, op, ri, w)
+			return
+		}
+		s.recvFromRing(p, op, ri)
+		return
+	}
+	s.recvIB(p, op, ri)
+	_ = m
+}
+
+// recvFromSenderWindow consumes the sender's contiguous data in place
+// (SM): a single copy when the receiver is contiguous too, otherwise
+// fragment-wise unpacking with optional local staging.
+func (s *PipelinedStrategy) recvFromSenderWindow(p *sim.Proc, op *RecvOp, ri *rendInfo) {
+	m := op.M
+	src := ri.contig
+	if src.Kind() == mem.Device {
+		src = m.ctx.IpcOpenMemHandle(p, ri.contigIPC) // map cost (cached)
+	}
+	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok {
+		m.ctx.Memcpy(p, w.Slice(0, op.Packed), src)
+	} else {
+		fc := m.newConsumer(op)
+		var off int64
+		for _, n := range fragPlan(op.Packed, m.w.cfg.Proto.FragBytes) {
+			fc.consume(p, src.Slice(off, n), off, n, nil)
+			off += n
+		}
+		fc.finish(p)
+	}
+	done := ri.op.Req.done
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { done.Complete(nil) })
+	op.Req.done.Complete(nil)
+}
+
+// recvPackDirect tells the sender to pack straight into the receiver's
+// contiguous buffer and waits for completion.
+func (s *PipelinedStrategy) recvPackDirect(p *sim.Proc, op *RecvOp, ri *rendInfo, w mem.Buffer) {
+	m := op.M
+	events := m.w.eng.NewMailbox("recv.direct")
+	cmd := cmdPackDirect{events: events}
+	if w.Kind() == mem.Device {
+		cmd.isDev = true
+		cmd.dst = m.ctx.IpcGetMemHandle(w.Slice(0, op.Packed))
+	} else {
+		cmd.dstBuf = w.Slice(0, op.Packed)
+	}
+	st := ri.st
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+	for {
+		if events.Get(p).(fragEvt).last {
+			break
+		}
+	}
+	op.Req.done.Complete(nil)
+}
+
+// recvFromRing is the receiver of the SM pipelined RDMA protocol.
+func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) {
+	m := op.M
+	events := m.w.eng.NewMailbox("recv.ring")
+	st := ri.st
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmdPackToRing{events: events}) })
+
+	fc := m.newConsumer(op)
+	var ring mem.Buffer
+	var got int64
+	for got < op.Packed {
+		ev := events.Get(p).(fragEvt)
+		if !ring.IsValid() {
+			if ev.ringDev {
+				ring = m.ctx.IpcOpenMemHandle(p, ev.ringIPC)
+			} else {
+				ring = ev.ring
+			}
+		}
+		frag := m.w.cfg.Proto.FragBytes
+		src := ring.Slice(int64(ev.slot)*frag, ev.n)
+		slot := ev.slot
+		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
+			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
+		})
+		got += ev.n
+	}
+	fc.finish(p)
+	op.Req.done.Complete(nil)
+}
+
+// recvIB drives the copy-in/out receiver: set up a host ring (or expose
+// the contiguous host window), command the sender, and unpack arrivals.
+func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
+	m := op.M
+	proto := &m.w.cfg.Proto
+	events := m.w.eng.NewMailbox("recv.ib")
+	st := ri.st
+
+	// Contiguous host receiver: RDMA straight into the user buffer.
+	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && w.Kind() == mem.Host {
+		cmd := cmdSendIB{direct: w.Slice(0, op.Packed), events: events}
+		op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+		for {
+			if events.Get(p).(fragEvt).last {
+				break
+			}
+		}
+		op.Req.done.Complete(nil)
+		return
+	}
+
+	frag := proto.FragBytes
+	depth := proto.PipelineDepth
+	ringBuf := m.ringBuf(m.ctx.Node().Host(), frag*int64(depth))
+	ring := make([]mem.Buffer, depth)
+	for i := range ring {
+		ring[i] = ringBuf.Slice(int64(i)*frag, frag)
+	}
+	cmd := cmdSendIB{ring: ring, events: events}
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+
+	fc := m.newConsumer(op)
+	var got int64
+	for got < op.Packed {
+		ev := events.Get(p).(fragEvt)
+		src := ring[ev.slot].Slice(0, ev.n)
+		slot := ev.slot
+		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
+			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
+		})
+		got += ev.n
+	}
+	fc.finish(p)
+	m.releaseRing(ringBuf)
+	op.Req.done.Complete(nil)
+}

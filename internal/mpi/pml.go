@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Request tracks an outstanding Isend/Irecv.
+type Request struct {
+	done *sim.Future
+}
+
+// Wait blocks the calling process until the operation completes.
+func (r *Request) Wait(p *sim.Proc) { r.done.Await(p) }
+
+// Done reports (non-blocking) whether the operation has completed
+// (MPI_Test).
+func (r *Request) Done() bool { return r.done.Done() }
+
+// Complete marks the request finished; for use by Strategy
+// implementations outside this package.
+func (r *Request) Complete() { r.done.Complete(nil) }
+
+// WaitAll blocks the rank's process until every request completes
+// (MPI_Waitall).
+func (m *Rank) WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait(m.p)
+	}
+}
+
+// postedRecv is a receive awaiting a matching arrival.
+type postedRecv struct {
+	op  *RecvOp
+	src int
+	tag int
+}
+
+// rtsMsg is an arrived send: either an eager message whose packed
+// payload already sits in a receiver-side host scratch buffer, or a
+// rendezvous ready-to-send carrying the sender strategy's info.
+type rtsMsg struct {
+	src, tag int
+	packed   int64
+	sdt      *datatype.Datatype
+	scount   int
+	eager    mem.Buffer // valid if eager
+	isEager  bool
+	info     interface{} // rendezvous strategy info
+}
+
+// SendOp carries everything a strategy needs on the sender side.
+type SendOp struct {
+	M      *Rank
+	Buf    mem.Buffer
+	Dt     *datatype.Datatype
+	Count  int
+	Dest   int
+	Tag    int
+	Packed int64
+	Ch     *Channel // sender -> receiver
+	Req    *Request
+}
+
+// RecvOp carries everything a strategy needs on the receiver side.
+type RecvOp struct {
+	M      *Rank
+	Buf    mem.Buffer
+	Dt     *datatype.Datatype
+	Count  int
+	Src    int
+	Tag    int
+	Packed int64    // sender's packed size (set at match time)
+	Ch     *Channel // receiver -> sender (for ACKs and pack requests)
+	Req    *Request
+}
+
+// Strategy is the rendezvous data-movement policy: the default
+// PipelinedStrategy implements the paper's protocols; the MVAPICH-style
+// comparator implements §2.2's vectorization approach.
+type Strategy interface {
+	Name() string
+	// StartSend runs on the sender's process; the returned info is
+	// delivered to the receiver with the RTS. The strategy must
+	// eventually complete op.Req.
+	StartSend(op *SendOp) interface{}
+	// RunRecv runs on a dedicated receiver process once the message is
+	// matched, and must complete op.Req.
+	RunRecv(p *sim.Proc, op *RecvOp, info interface{})
+}
+
+// Isend starts a send and returns its request.
+func (m *Rank) Isend(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int) *Request {
+	req := &Request{done: m.w.eng.NewFuture()}
+	packed := int64(count) * dt.Size()
+	ch := m.channel(dest)
+	op := &SendOp{M: m, Buf: buf, Dt: dt, Count: count, Dest: dest, Tag: tag, Packed: packed, Ch: ch, Req: req}
+	if packed <= m.w.cfg.Proto.EagerLimit {
+		m.eagerSend(op)
+		return req
+	}
+	info := m.w.cfg.Strategy.StartSend(op)
+	peer := m.w.ranks[dest]
+	src := m.rank
+	m.seq++
+	ch.AM(m.p, amHeaderBytes, func(p *sim.Proc) {
+		peer.arrived(p, &rtsMsg{src: src, tag: tag, packed: packed, sdt: dt, scount: count, info: info})
+	})
+	return req
+}
+
+// eagerSend packs the whole message into a receiver-side host bounce
+// buffer and notifies the receiver: the short/eager protocol.
+func (m *Rank) eagerSend(op *SendOp) {
+	local := m.scratch(op.Packed)
+	m.packToHost(m.p, op.Buf, op.Dt, op.Count, local.Slice(0, op.Packed))
+	peer := m.w.ranks[op.Dest]
+	remote := peer.scratch(op.Packed)
+	op.Ch.Put(m.p, remote.Slice(0, op.Packed), local.Slice(0, op.Packed))
+	m.freeScratch(local)
+	src, tag, packed := m.rank, op.Tag, op.Packed
+	sdt, scount := op.Dt, op.Count
+	op.Ch.AM(m.p, amHeaderBytes, func(p *sim.Proc) {
+		peer.arrived(p, &rtsMsg{src: src, tag: tag, packed: packed, sdt: sdt, scount: scount, eager: remote, isEager: true})
+	})
+	op.Req.done.Complete(nil) // eager: locally complete once injected
+}
+
+// Irecv posts a receive and returns its request.
+func (m *Rank) Irecv(buf mem.Buffer, dt *datatype.Datatype, count, source, tag int) *Request {
+	req := &Request{done: m.w.eng.NewFuture()}
+	op := &RecvOp{M: m, Buf: buf, Dt: dt, Count: count, Src: source, Tag: tag, Req: req}
+	// Match against unexpected arrivals in order.
+	for i, u := range m.unexp {
+		if matches(source, tag, u.src, u.tag) {
+			m.unexp = append(m.unexp[:i], m.unexp[i+1:]...)
+			m.startRecv(op, u)
+			return req
+		}
+	}
+	m.posted = append(m.posted, &postedRecv{op: op, src: source, tag: tag})
+	return req
+}
+
+func matches(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) && (wantTag == AnyTag || wantTag == tag)
+}
+
+// arrived handles an incoming RTS (on the progress process).
+func (m *Rank) arrived(p *sim.Proc, msg *rtsMsg) {
+	for i, pr := range m.posted {
+		if matches(pr.src, pr.tag, msg.src, msg.tag) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			m.startRecv(pr.op, msg)
+			return
+		}
+	}
+	m.unexp = append(m.unexp, msg)
+}
+
+// startRecv launches delivery of a matched message.
+func (m *Rank) startRecv(op *RecvOp, msg *rtsMsg) {
+	if cap := int64(op.Count) * op.Dt.Size(); msg.packed > cap {
+		panic(fmt.Sprintf("mpi: truncation: rank %d recv capacity %d < message %d (src %d tag %d)",
+			m.rank, cap, msg.packed, msg.src, msg.tag))
+	}
+	if !datatype.SignaturesMatch(msg.sdt, msg.scount, op.Dt, op.Count) &&
+		int64(op.Count)*op.Dt.Size() != msg.packed {
+		panic(fmt.Sprintf("mpi: datatype signature mismatch: %s x%d vs %s x%d",
+			msg.sdt.Name(), msg.scount, op.Dt.Name(), op.Count))
+	}
+	op.Packed = msg.packed
+	op.Src = msg.src
+	op.Tag = msg.tag
+	op.Ch = m.channel(msg.src)
+	if msg.isEager {
+		buf := msg.eager
+		m.w.eng.Spawn(fmt.Sprintf("rank%d.eagerRecv", m.rank), func(p *sim.Proc) {
+			m.unpackFromHost(p, op.Buf, op.Dt, op.Count, buf.Slice(0, op.Packed))
+			m.freeScratch(buf)
+			op.Req.done.Complete(nil)
+		})
+		return
+	}
+	info := msg.info
+	m.w.eng.Spawn(fmt.Sprintf("rank%d.recv.%d", m.rank, msg.src), func(p *sim.Proc) {
+		m.w.cfg.Strategy.RunRecv(p, op, info)
+	})
+}
+
+// scratch hands out a host bounce buffer of at least n bytes from the
+// rank's pool (eager protocol and staging). Small requests are rounded
+// up (to the eager limit, capped at 1 MiB) so the pool stays reusable.
+func (m *Rank) scratch(n int64) mem.Buffer {
+	floor := m.w.cfg.Proto.EagerLimit
+	if floor > 1<<20 {
+		floor = 1 << 20
+	}
+	if n < floor {
+		n = floor
+	}
+	for i, b := range m.scratchPool {
+		if b.Len() >= n {
+			m.scratchPool = append(m.scratchPool[:i], m.scratchPool[i+1:]...)
+			return b
+		}
+	}
+	return m.ctx.MallocHost(n)
+}
+
+func (m *Rank) freeScratch(b mem.Buffer) {
+	m.scratchPool = append(m.scratchPool, b)
+}
+
+// packToHost packs (buf, dt, count) into the host buffer dst: a
+// zero-copy GPU kernel when the data lives in device memory, or a CPU
+// pack charging the host bus otherwise.
+func (m *Rank) packToHost(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, dst mem.Buffer) {
+	if buf.Kind() == mem.Device {
+		eng := m.engs[m.ctx.Node().DeviceOf(buf.Space())]
+		eng.Pack(p, buf, dt, count, dst)
+		return
+	}
+	c := datatype.NewConverter(dt, count)
+	m.ctx.Node().HostBus().Transfer(p, 2*c.Total())
+	c.Pack(dst.Bytes(), buf.Bytes())
+}
+
+// unpackFromHost is the inverse of packToHost.
+func (m *Rank) unpackFromHost(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, src mem.Buffer) {
+	if buf.Kind() == mem.Device {
+		eng := m.engs[m.ctx.Node().DeviceOf(buf.Space())]
+		eng.Unpack(p, buf, dt, count, src)
+		return
+	}
+	c := datatype.NewConverter(dt, count)
+	m.ctx.Node().HostBus().Transfer(p, 2*c.Total())
+	c.Unpack(buf.Bytes(), src.Bytes())
+}

@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+)
+
+// Reduce combines count primitives of dt from every rank's sendBuf into
+// root's recvBuf over a binomial tree. dt must be a contiguous layout of
+// a single primitive type (Float64 or Int64). The combine runs as a
+// memory-bound GPU kernel when the buffers live in device memory, and
+// on the CPU (charging the host bus) otherwise.
+func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+	prim := reducePrim(dt)
+	n := int64(count) * dt.Size()
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += size
+
+	// Accumulator: root accumulates into recvBuf; interior nodes use a
+	// scratch in the same location class as their send buffer.
+	var acc mem.Buffer
+	if m.rank == root {
+		acc = recvBuf.Slice(0, n)
+	} else if sendBuf.Kind() == mem.Device {
+		acc = m.ringBuf(sendBuf.Space(), n).Slice(0, n)
+	} else {
+		acc = m.scratch(n).Slice(0, n)
+	}
+	m.localCopy(sendBuf, dt, count, acc, dt, count)
+
+	var tmp mem.Buffer
+	vrank := (m.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % size
+			m.Send(acc, dt, count, parent, tag+m.rank)
+			break
+		}
+		if peer := vrank | mask; peer < size {
+			child := (peer + root) % size
+			if !tmp.IsValid() {
+				if acc.Kind() == mem.Device {
+					tmp = m.ringBuf(acc.Space(), n).Slice(0, n)
+				} else {
+					tmp = m.scratch(n).Slice(0, n)
+				}
+			}
+			m.Recv(tmp, dt, count, child, tag+child)
+			m.combine(acc, tmp, prim, op)
+		}
+		mask <<= 1
+	}
+	// Release scratch accumulators.
+	if m.rank != root {
+		m.releaseAccum(acc)
+	}
+	if tmp.IsValid() {
+		m.releaseAccum(tmp)
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (m *Rank) Allreduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op) {
+	m.Reduce(sendBuf, recvBuf, dt, count, op, 0)
+	m.Bcast(recvBuf, dt, count, 0)
+}
+
+func (m *Rank) releaseAccum(b mem.Buffer) {
+	if b.Kind() == mem.Device {
+		m.releaseRing(b)
+	} else {
+		m.freeScratch(b)
+	}
+}
+
+// reducePrim validates the datatype for reduction and returns its
+// primitive kind.
+func reducePrim(dt *datatype.Datatype) datatype.Primitive {
+	if !dt.IsContiguous() {
+		panic("mpi: Reduce requires a contiguous datatype")
+	}
+	sig := dt.Signature()
+	if len(sig) != 1 {
+		panic("mpi: Reduce requires a single primitive type")
+	}
+	switch sig[0].Prim {
+	case datatype.PrimFloat64, datatype.PrimInt64:
+		return sig[0].Prim
+	default:
+		panic(fmt.Sprintf("mpi: Reduce does not support %v", sig[0].Prim))
+	}
+}
+
+// combine executes acc = acc (op) other, charging a memory-bound kernel
+// on the GPU (2 reads + 1 write per element) or the host bus.
+func (m *Rank) combine(acc, other mem.Buffer, prim datatype.Primitive, op Op) {
+	n := acc.Len()
+	if acc.Kind() == mem.Device {
+		dev := m.ctx.Node().GPU(m.ctx.Node().DeviceOf(acc.Space()))
+		eng := m.engs[dev.ID()]
+		dev.Compute(eng.Stream(), 3*n, 0).Await(m.p)
+	} else {
+		m.ctx.Node().HostBus().Transfer(m.p, 3*n)
+	}
+	a, b := acc.Bytes(), other.Bytes()
+	for off := int64(0); off+8 <= n; off += 8 {
+		switch prim {
+		case datatype.PrimFloat64:
+			x := math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			binary.LittleEndian.PutUint64(a[off:], math.Float64bits(apply(x, y, op)))
+		case datatype.PrimInt64:
+			x := int64(binary.LittleEndian.Uint64(a[off:]))
+			y := int64(binary.LittleEndian.Uint64(b[off:]))
+			r := x + y
+			if op == OpMax && y <= x {
+				r = x
+			} else if op == OpMax {
+				r = y
+			}
+			binary.LittleEndian.PutUint64(a[off:], uint64(r))
+		}
+	}
+}
+
+func apply(x, y float64, op Op) float64 {
+	switch op {
+	case OpSum:
+		return x + y
+	case OpMax:
+		return math.Max(x, y)
+	default:
+		panic("mpi: unknown op")
+	}
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+func putF64(b mem.Buffer, i int, v float64) {
+	binary.LittleEndian.PutUint64(b.Bytes()[i*8:], math.Float64bits(v))
+}
+func getF64(b mem.Buffer, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.Bytes()[i*8:]))
+}
+
+func TestReduceSumGPU(t *testing.T) {
+	const elems = 30000 // 240 KB: rendezvous
+	dt := datatype.Contiguous(elems, datatype.Float64)
+	for root := 0; root < 4; root++ {
+		w := NewWorld(fourRanks())
+		var result mem.Buffer
+		w.Run(func(m *Rank) {
+			send := m.Malloc(dt.Size())
+			for i := 0; i < elems; i++ {
+				putF64(send, i, float64((m.Rank()+1)*(i%7+1)))
+			}
+			var recv mem.Buffer
+			if m.Rank() == root {
+				recv = m.Malloc(dt.Size())
+				result = recv
+			}
+			m.Reduce(send, recv, dt, 1, OpSum, root)
+		})
+		for i := 0; i < elems; i += 997 {
+			want := float64((1 + 2 + 3 + 4) * (i%7 + 1))
+			if got := getF64(result, i); got != want {
+				t.Fatalf("root %d elem %d = %v, want %v", root, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMaxHost(t *testing.T) {
+	const elems = 20000
+	dt := datatype.Contiguous(elems, datatype.Float64)
+	w := NewWorld(fourRanks())
+	var result mem.Buffer
+	w.Run(func(m *Rank) {
+		send := m.MallocHost(dt.Size())
+		for i := 0; i < elems; i++ {
+			// Rank (i mod 4) holds the max for element i.
+			v := float64(10 * (m.Rank() + 1))
+			if m.Rank() == i%4 {
+				v = 1000 + float64(i)
+			}
+			putF64(send, i, v)
+		}
+		var recv mem.Buffer
+		if m.Rank() == 0 {
+			recv = m.MallocHost(dt.Size())
+			result = recv
+		}
+		m.Reduce(send, recv, dt, 1, OpMax, 0)
+	})
+	for i := 0; i < elems; i += 501 {
+		if got := getF64(result, i); got != 1000+float64(i) {
+			t.Fatalf("elem %d = %v, want %v", i, got, 1000+float64(i))
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const elems = 25000
+	dt := datatype.Contiguous(elems, datatype.Float64)
+	w := NewWorld(fourRanks())
+	results := make([]mem.Buffer, 4)
+	w.Run(func(m *Rank) {
+		send := m.Malloc(dt.Size())
+		for i := 0; i < elems; i++ {
+			putF64(send, i, float64(m.Rank()+1))
+		}
+		recv := m.Malloc(dt.Size())
+		m.Allreduce(send, recv, dt, 1, OpSum)
+		results[m.Rank()] = recv
+	})
+	for r := 0; r < 4; r++ {
+		for i := 0; i < elems; i += 1234 {
+			if got := getF64(results[r], i); got != 10 {
+				t.Fatalf("rank %d elem %d = %v, want 10", r, i, got)
+			}
+		}
+	}
+}
+
+func TestReduceInt64Sum(t *testing.T) {
+	const elems = 16000
+	dt := datatype.Contiguous(elems, datatype.Int64)
+	w := NewWorld(fourRanks())
+	var result mem.Buffer
+	w.Run(func(m *Rank) {
+		send := m.MallocHost(dt.Size())
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(send.Bytes()[i*8:], uint64(m.Rank()+1))
+		}
+		var recv mem.Buffer
+		if m.Rank() == 0 {
+			recv = m.MallocHost(dt.Size())
+			result = recv
+		}
+		m.Reduce(send, recv, dt, 1, OpSum, 0)
+	})
+	for i := 0; i < elems; i += 333 {
+		if got := binary.LittleEndian.Uint64(result.Bytes()[i*8:]); got != 10 {
+			t.Fatalf("elem %d = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestReduceRejectsNonContiguous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	w := NewWorld(twoRanksSameGPU())
+	w.Run(func(m *Rank) {
+		vec := datatype.Vector(4, 1, 2, datatype.Float64)
+		m.Reduce(m.MallocHost(1024), m.MallocHost(1024), vec, 1, OpSum, 0)
+	})
+}

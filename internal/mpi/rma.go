@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// One-sided communication (MPI-2 RMA) over the same datatype-aware
+// transfer strategies as point-to-point: the paper notes that a
+// committed datatype is usable by "point-to-point, collective, I/O and
+// one-sided functions", and the GPU datatype engine composes unchanged —
+// a Put packs GPU-resident non-contiguous data at the origin and
+// scatters it into the target window's layout through the pipelined
+// protocols, with the target's progress engine (not its application
+// code) running the receiver side.
+//
+// Synchronization model: Put and Get return Requests that complete only
+// after the remote side has fully completed (a slightly stronger
+// guarantee than MPI's), so Fence is Wait-all + Barrier.
+
+// Win is a window of locally exposed memory (host or device).
+type Win struct {
+	m     *Rank
+	id    int
+	buf   mem.Buffer
+	local []*Request // operations this rank originated in the open epoch
+}
+
+// winBufs returns the registry row for window id, sized on demand.
+func (w *World) winBufs(id int) []mem.Buffer {
+	for len(w.wins) <= id {
+		w.wins = append(w.wins, make([]mem.Buffer, len(w.ranks)))
+	}
+	return w.wins[id]
+}
+
+// WinCreate exposes buf to all ranks. Collective: every rank must call
+// it in the same order.
+func (m *Rank) WinCreate(buf mem.Buffer) *Win {
+	id := m.winSeq
+	m.winSeq++
+	m.w.winBufs(id)[m.rank] = buf
+	m.Barrier() // all ranks registered
+	return &Win{m: m, id: id, buf: buf}
+}
+
+// Buffer returns the locally exposed window memory.
+func (w *Win) Buffer() mem.Buffer { return w.buf }
+
+// multiFuture completes its request after n sub-completions.
+type multiFuture struct {
+	req *Request
+	n   int
+}
+
+func (mf *multiFuture) done() {
+	mf.n--
+	if mf.n == 0 {
+		mf.req.done.Complete(nil)
+	}
+}
+
+// Put transfers (origin, odt, ocount) into the target rank's window at
+// byte displacement tdisp with layout (tdt, tcount). It returns a
+// request that completes once the data is in place at the target.
+func (w *Win) Put(origin mem.Buffer, odt *datatype.Datatype, ocount, target int, tdisp int64, tdt *datatype.Datatype, tcount int) *Request {
+	m := w.m
+	checkRMAArgs(odt, ocount, tdt, tcount)
+	req := &Request{done: m.w.eng.NewFuture()}
+	w.local = append(w.local, req)
+	mf := &multiFuture{req: req, n: 2}
+
+	packed := int64(ocount) * odt.Size()
+	ch := m.channel(target)
+	internal := &Request{done: m.w.eng.NewFuture()}
+	op := &SendOp{M: m, Buf: origin, Dt: odt, Count: ocount, Dest: target, Tag: -1, Packed: packed, Ch: ch, Req: internal}
+	info := m.w.cfg.Strategy.StartSend(op)
+	m.w.eng.Spawn(fmt.Sprintf("rank%d.put.origin", m.rank), func(p *sim.Proc) {
+		internal.Wait(p)
+		mf.done()
+	})
+
+	tRank := m.w.ranks[target]
+	tbuf := m.w.winBufs(w.id)[target].Slice(tdisp, spanOf(tdt, tcount))
+	src := m.rank
+	ch.AM(m.p, amHeaderBytes, func(_ *sim.Proc) {
+		tReq := &Request{done: tRank.w.eng.NewFuture()}
+		rop := &RecvOp{M: tRank, Buf: tbuf, Dt: tdt, Count: tcount, Src: src, Tag: -1,
+			Packed: packed, Ch: tRank.channel(src), Req: tReq}
+		tRank.w.eng.Spawn(fmt.Sprintf("rank%d.put.target", tRank.rank), func(p *sim.Proc) {
+			tRank.w.cfg.Strategy.RunRecv(p, rop, info)
+			// Remote completion notification back to the origin.
+			tRank.channel(src).AM(p, amHeaderBytes, func(*sim.Proc) { mf.done() })
+		})
+	})
+	return req
+}
+
+// Get transfers (tdt, tcount) at byte displacement tdisp of the target
+// rank's window into (origin, odt, ocount). The target's progress
+// engine runs the sender side; the application there is not involved.
+func (w *Win) Get(origin mem.Buffer, odt *datatype.Datatype, ocount, target int, tdisp int64, tdt *datatype.Datatype, tcount int) *Request {
+	m := w.m
+	checkRMAArgs(odt, ocount, tdt, tcount)
+	req := &Request{done: m.w.eng.NewFuture()}
+	w.local = append(w.local, req)
+
+	packed := int64(tcount) * tdt.Size()
+	tRank := m.w.ranks[target]
+	tbuf := m.w.winBufs(w.id)[target].Slice(tdisp, spanOf(tdt, tcount))
+	src := m.rank
+	// Ask the target to start a sender for its window region; it ships
+	// the strategy info back, and we run the receiver locally.
+	m.channel(target).AM(m.p, amHeaderBytes, func(tp *sim.Proc) {
+		internal := &Request{done: tRank.w.eng.NewFuture()}
+		sop := &SendOp{M: tRank, Buf: tbuf, Dt: tdt, Count: tcount, Dest: src, Tag: -1,
+			Packed: packed, Ch: tRank.channel(src), Req: internal}
+		info := tRank.w.cfg.Strategy.StartSend(sop)
+		tRank.channel(src).AM(tp, amHeaderBytes, func(*sim.Proc) {
+			rop := &RecvOp{M: m, Buf: origin, Dt: odt, Count: ocount, Src: target, Tag: -1,
+				Packed: packed, Ch: m.channel(target), Req: req}
+			m.w.eng.Spawn(fmt.Sprintf("rank%d.get.origin", m.rank), func(p *sim.Proc) {
+				m.w.cfg.Strategy.RunRecv(p, rop, info)
+			})
+		})
+	})
+	return req
+}
+
+// Fence completes the access epoch: waits for every locally originated
+// operation (which, by construction, implies remote completion), then
+// synchronizes all ranks.
+func (w *Win) Fence() {
+	for _, r := range w.local {
+		r.Wait(w.m.p)
+	}
+	w.local = w.local[:0]
+	w.m.Barrier()
+}
+
+func checkRMAArgs(odt *datatype.Datatype, ocount int, tdt *datatype.Datatype, tcount int) {
+	if !datatype.SignaturesMatch(odt, ocount, tdt, tcount) {
+		panic(fmt.Sprintf("mpi: RMA signature mismatch: %s x%d vs %s x%d", odt.Name(), ocount, tdt.Name(), tcount))
+	}
+}

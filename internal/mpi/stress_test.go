@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/shapes"
+)
+
+// TestExtremeProtoOptions drives the protocols far from their defaults:
+// one-slot pipelines, tiny fragments, zero eager limit.
+func TestExtremeProtoOptions(t *testing.T) {
+	dt := shapes.LowerTriangular(192)
+	for _, proto := range []ProtoOptions{
+		{PipelineDepth: 1},
+		{FragBytes: 4096},
+		{FragBytes: 4096, PipelineDepth: 1},
+		{EagerLimit: 1},                      // everything rendezvous
+		{EagerLimit: 1 << 30},                // everything eager
+		{FragBytes: 1 << 26},                 // one fragment for the whole message
+		{FragBytes: 4096, PipelineDepth: 16}, // deep, fine-grained
+	} {
+		proto := proto
+		t.Run(fmt.Sprintf("%+v", proto), func(t *testing.T) {
+			for _, cfg := range []Config{twoRanksSameGPU(), twoRanksTwoGPUs(), twoNodes()} {
+				cfg.Proto = proto
+				s, r, _ := runXfer(t, xferSpec{cfg: cfg, sendDt: dt, count: 1, sGPU: true, rGPU: true})
+				if !bytes.Equal(s, r) {
+					t.Fatal("payload mismatch")
+				}
+			}
+		})
+	}
+}
+
+// TestManyConcurrentMessages floods a pair of ranks with interleaved
+// rendezvous and eager messages on distinct tags, completing out of
+// issue order.
+func TestManyConcurrentMessages(t *testing.T) {
+	const nmsg = 12
+	w := NewWorld(twoRanksTwoGPUs())
+	sizes := make([]int64, nmsg)
+	for i := range sizes {
+		if i%2 == 0 {
+			sizes[i] = 4 << 10 // eager
+		} else {
+			sizes[i] = int64(256<<10 + i*4096) // rendezvous
+		}
+	}
+	var sent, got [nmsg][]byte
+	w.Run(func(m *Rank) {
+		bufs := make([]mem.Buffer, nmsg)
+		reqs := make([]*Request, nmsg)
+		for i := range bufs {
+			bufs[i] = m.Malloc(sizes[i])
+		}
+		if m.Rank() == 0 {
+			for i := range bufs {
+				mem.FillPattern(bufs[i], uint64(i+1))
+				sent[i] = append([]byte(nil), bufs[i].Bytes()...)
+				reqs[i] = m.Isend(bufs[i], datatype.Contiguous(int(sizes[i]), datatype.Byte), 1, 1, i)
+			}
+		} else {
+			// Post receives in reverse order: matching is by tag.
+			for i := nmsg - 1; i >= 0; i-- {
+				reqs[i] = m.Irecv(bufs[i], datatype.Contiguous(int(sizes[i]), datatype.Byte), 1, 0, i)
+			}
+		}
+		for i := range reqs {
+			reqs[i].Wait(m.Proc())
+		}
+		if m.Rank() == 1 {
+			for i := range bufs {
+				got[i] = append([]byte(nil), bufs[i].Bytes()...)
+			}
+		}
+	})
+	for i := range sent {
+		if !bytes.Equal(sent[i], got[i]) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+// TestBidirectionalSimultaneousRendezvous exchanges large messages both
+// ways at once (the ping-ping pattern), which stresses concurrent
+// sender and receiver state machines on the same rank.
+func TestBidirectionalSimultaneousRendezvous(t *testing.T) {
+	dt := shapes.SubMatrix(512, 512, 600)
+	for _, cfg := range []Config{twoRanksSameGPU(), twoRanksTwoGPUs(), twoNodes()} {
+		w := NewWorld(cfg)
+		var img [2][]byte
+		var got [2][]byte
+		w.Run(func(m *Rank) {
+			span := layoutSpan(dt, 1)
+			mine := m.Malloc(span)
+			theirs := m.Malloc(span)
+			mem.FillPattern(mine, uint64(m.Rank()+40))
+			img[m.Rank()] = cpuPack(dt, 1, mine.Bytes())
+			peer := 1 - m.Rank()
+			s := m.Isend(mine, dt, 1, peer, 5)
+			r := m.Irecv(theirs, dt, 1, peer, 5)
+			s.Wait(m.Proc())
+			r.Wait(m.Proc())
+			got[peer] = cpuPack(dt, 1, theirs.Bytes())
+		})
+		for r := 0; r < 2; r++ {
+			if !bytes.Equal(img[r], got[r]) {
+				t.Fatalf("bidirectional exchange corrupted rank %d's data", r)
+			}
+		}
+	}
+}
+
+// TestSelfSend exercises rank-to-self messaging.
+func TestSelfSend(t *testing.T) {
+	w := NewWorld(Config{Ranks: []Placement{{Node: 0, GPU: 0}}})
+	dt := datatype.Contiguous(200000, datatype.Float64)
+	ok := false
+	w.Run(func(m *Rank) {
+		a := m.Malloc(dt.Size())
+		b := m.Malloc(dt.Size())
+		mem.FillPattern(a, 3)
+		s := m.Isend(a, dt, 1, 0, 0)
+		r := m.Irecv(b, dt, 1, 0, 0)
+		s.Wait(m.Proc())
+		r.Wait(m.Proc())
+		ok = mem.Equal(a, b)
+	})
+	if !ok {
+		t.Fatal("self send corrupted data")
+	}
+}

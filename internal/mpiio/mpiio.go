@@ -1,0 +1,146 @@
+// Package mpiio is an MPI-IO-style parallel file layer, exercising the
+// third consumer of committed datatypes the MPI standard (and the
+// paper's §1) lists: "point-to-point, collective, I/O and one-sided
+// functions".
+//
+// A File is a simulated shared file (real bytes) behind a
+// bandwidth-limited storage link. Each rank sets a *view* — an etype
+// count plus a filetype whose gaps skip other ranks' data, typically a
+// Darray — and collective WriteAll/ReadAll move the rank's local data
+// (host or GPU, any datatype) through the view: GPU data is packed by
+// the datatype engine, staged to the host, and scattered into the file
+// holes, exactly the ROMIO data-sieving picture.
+package mpiio
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/sim"
+)
+
+// Params calibrates the storage system.
+type Params struct {
+	// BandwidthGBps is the aggregate file-system bandwidth (default 3).
+	BandwidthGBps float64
+	// OpLatency is the per-operation latency (default 100 us).
+	OpLatency sim.Time
+}
+
+// File is a shared simulated file.
+type File struct {
+	w     *mpi.World
+	data  mem.Buffer
+	size  int64
+	link  *sim.Link
+	views []view // per rank
+}
+
+type view struct {
+	disp     int64
+	filetype *datatype.Datatype
+}
+
+// Open creates (or truncates) a shared file of the given size.
+// Collective: call once per job, then share the handle; each rank must
+// SetView before reading or writing.
+func Open(w *mpi.World, name string, size int64, p Params) *File {
+	if p.BandwidthGBps == 0 {
+		p.BandwidthGBps = 3
+	}
+	if p.OpLatency == 0 {
+		p.OpLatency = 100 * sim.Microsecond
+	}
+	return &File{
+		w:     w,
+		data:  mem.NewSpace("file:"+name, mem.Host, size).Alloc(size, 1),
+		size:  size,
+		link:  w.Engine().NewLink("fs:"+name, p.BandwidthGBps, p.OpLatency),
+		views: make([]view, w.Size()),
+	}
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Bytes exposes the file contents for verification.
+func (f *File) Bytes() []byte { return f.data.Bytes() }
+
+// SetView installs rank m's file view: the packed stream of every
+// subsequent WriteAll/ReadAll call lands in the data bytes of filetype
+// tiled from byte displacement disp (MPI_File_set_view).
+func (f *File) SetView(m *mpi.Rank, disp int64, filetype *datatype.Datatype) {
+	if filetype.Size() == 0 {
+		panic("mpiio: empty filetype")
+	}
+	f.views[m.Rank()] = view{disp: disp, filetype: filetype}
+}
+
+// WriteAll writes count elements of dt from buf through the caller's
+// view (MPI_File_write_all). Collective: internally barriers so every
+// rank's I/O lands in the same epoch.
+func (f *File) WriteAll(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, count int) {
+	f.transfer(m, buf, dt, count, true)
+}
+
+// ReadAll reads count elements of dt into buf through the caller's view
+// (MPI_File_read_all).
+func (f *File) ReadAll(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, count int) {
+	f.transfer(m, buf, dt, count, false)
+}
+
+func (f *File) transfer(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, count int, writing bool) {
+	v := f.views[m.Rank()]
+	if v.filetype == nil {
+		panic(fmt.Sprintf("mpiio: rank %d has no view", m.Rank()))
+	}
+	packed := int64(count) * dt.Size()
+	// The view must have room for the packed stream (tile the filetype).
+	tiles := (packed + v.filetype.Size() - 1) / v.filetype.Size()
+	span := v.disp + (tiles-1)*v.filetype.Extent() + v.filetype.TrueLB() + v.filetype.TrueExtent()
+	if span > f.size {
+		panic(fmt.Sprintf("mpiio: rank %d view needs %d bytes, file has %d", m.Rank(), span, f.size))
+	}
+
+	// Stage the packed stream in host memory.
+	stage := m.ScratchHost(packed)
+	defer m.FreeScratchHost(stage)
+	window := stage.Slice(0, packed)
+	if writing {
+		f.packLocal(m, buf, dt, count, window)
+	}
+
+	// Move packed bytes between the stage and the file holes described
+	// by the view, charging the storage link once for the whole stream.
+	f.link.Transfer(m.Proc(), packed)
+	fc := datatype.NewConverter(v.filetype, int(tiles))
+	fileBuf := f.data.Slice(v.disp, f.size-v.disp)
+	if writing {
+		fc.Unpack(fileBuf.Bytes(), window.Bytes())
+	} else {
+		fc.Pack(window.Bytes(), fileBuf.Bytes())
+		f.unpackLocal(m, buf, dt, count, window)
+	}
+	m.Barrier() // collective completion
+}
+
+// packLocal moves (buf, dt, count) into the host window: GPU data goes
+// through the datatype engine (zero-copy pack), host data through the
+// CPU converter.
+func (f *File) packLocal(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, count int, window mem.Buffer) {
+	if buf.Kind() == mem.Device {
+		m.GPUEngine(m.Ctx().Node().DeviceOf(buf.Space())).Pack(m.Proc(), buf, dt, count, window)
+		return
+	}
+	m.CPUPack(m.Proc(), buf, dt, count, window)
+}
+
+func (f *File) unpackLocal(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, count int, window mem.Buffer) {
+	if buf.Kind() == mem.Device {
+		m.GPUEngine(m.Ctx().Node().DeviceOf(buf.Space())).Unpack(m.Proc(), buf, dt, count, window)
+		return
+	}
+	m.CPUUnpack(m.Proc(), buf, dt, count, window)
+}

@@ -1,0 +1,179 @@
+// Package pcie models the intra-node interconnect of one cluster node:
+// host memory, the PCI-Express root complex, and the per-slot links of
+// every GPU.
+//
+// Topology (per direction, full duplex):
+//
+//	host --rootTx--> [switch] --gpuRx[i]--> GPU i
+//	GPU i --gpuTx[i]--> [switch] --rootRx--> host
+//	GPU i --gpuTx[i]--> [switch] --gpuRx[j]--> GPU j   (peer to peer)
+//
+// Peer-to-peer traffic does not traverse the root-complex links, which is
+// why GPU-GPU bandwidth exceeds CPU-GPU bandwidth, as the paper notes
+// (§4.1, citing its reference [18]). Host-to-device and device-to-host
+// transfers from different GPUs contend on the root links.
+package pcie
+
+import (
+	"fmt"
+
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Params calibrates the node interconnect.
+type Params struct {
+	// RootGBps is the bandwidth of each root-complex direction
+	// (host-to-switch and switch-to-host). PCIe gen3 x16 practical.
+	RootGBps float64
+
+	// SlotGBps is the bandwidth of each GPU slot direction. Slightly
+	// above the root so that P2P beats host-routed transfers.
+	SlotGBps float64
+
+	// HopLatency is the propagation latency per link hop.
+	HopLatency sim.Time
+
+	// HostBusRawGBps is the host DRAM bandwidth available to CPU copies,
+	// counting reads and writes separately (a host memcpy of n bytes
+	// consumes 2n raw).
+	HostBusRawGBps float64
+
+	// IPCMapCost is the one-time cost of opening a CUDA IPC memory
+	// handle from a peer process (§4.1: "a costly operation" that the
+	// pipelined protocol amortizes by caching).
+	IPCMapCost sim.Time
+
+	// HostMemBytes sizes the simulated host memory space.
+	HostMemBytes int64
+}
+
+// DefaultParams returns the PSG-cluster-like calibration: PCIe gen3 x16.
+func DefaultParams() Params {
+	return Params{
+		RootGBps:       10.0,
+		SlotGBps:       10.5,
+		HopLatency:     750 * sim.Nanosecond,
+		HostBusRawGBps: 24.0,
+		IPCMapCost:     50 * sim.Microsecond,
+		HostMemBytes:   1 << 30,
+	}
+}
+
+// Node is one cluster node: a host memory space, a set of GPUs, and the
+// PCIe links between them.
+type Node struct {
+	eng    *sim.Engine
+	id     int
+	params Params
+	host   *mem.Space
+	bus    *sim.Link
+	gpus   []*gpu.Device
+
+	rootTx, rootRx *sim.Link
+	gpuTx, gpuRx   []*sim.Link
+}
+
+// NewNode builds a node with ngpus GPUs using the given calibrations and
+// wires every GPU's H2D/D2H copy-engine paths.
+func NewNode(eng *sim.Engine, id, ngpus int, gp gpu.Params, p Params) *Node {
+	n := &Node{
+		eng:    eng,
+		id:     id,
+		params: p,
+		host:   mem.NewSpace(fmt.Sprintf("node%d.host", id), mem.Host, p.HostMemBytes),
+		bus:    eng.NewLink(fmt.Sprintf("node%d.hostbus", id), p.HostBusRawGBps, 100*sim.Nanosecond),
+		rootTx: eng.NewLink(fmt.Sprintf("node%d.rootTx", id), p.RootGBps, p.HopLatency),
+		rootRx: eng.NewLink(fmt.Sprintf("node%d.rootRx", id), p.RootGBps, p.HopLatency),
+	}
+	for i := 0; i < ngpus; i++ {
+		d := gpu.NewDevice(eng, i, gp)
+		tx := eng.NewLink(fmt.Sprintf("node%d.gpu%d.tx", id, i), p.SlotGBps, p.HopLatency)
+		rx := eng.NewLink(fmt.Sprintf("node%d.gpu%d.rx", id, i), p.SlotGBps, p.HopLatency)
+		// The copy-engine shortcuts on the device point at the slot
+		// links; full paths via the root are built by H2D/D2H below.
+		d.H2D, d.D2H = rx, tx
+		n.gpus = append(n.gpus, d)
+		n.gpuTx = append(n.gpuTx, tx)
+		n.gpuRx = append(n.gpuRx, rx)
+	}
+	return n
+}
+
+// Engine returns the simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// ID returns the node index within the cluster.
+func (n *Node) ID() int { return n.id }
+
+// Params returns the interconnect calibration.
+func (n *Node) Params() Params { return n.params }
+
+// Host returns the node's host memory space.
+func (n *Node) Host() *mem.Space { return n.host }
+
+// NumGPUs returns the number of GPUs.
+func (n *Node) NumGPUs() int { return len(n.gpus) }
+
+// GPU returns device i.
+func (n *Node) GPU(i int) *gpu.Device { return n.gpus[i] }
+
+// HostBus returns the host memory bus (raw bytes: charge 2n per copy).
+func (n *Node) HostBus() *sim.Link { return n.bus }
+
+// H2D returns the host-to-device path for GPU i.
+func (n *Node) H2D(i int) *sim.Path {
+	return &sim.Path{
+		Name:  fmt.Sprintf("%s->gpu%d", n.host.Name(), i),
+		Links: []*sim.Link{n.rootTx, n.gpuRx[i]},
+	}
+}
+
+// D2H returns the device-to-host path for GPU i.
+func (n *Node) D2H(i int) *sim.Path {
+	return &sim.Path{
+		Name:  fmt.Sprintf("gpu%d->%s", i, n.host.Name()),
+		Links: []*sim.Link{n.gpuTx[i], n.rootRx},
+	}
+}
+
+// P2P returns the peer-to-peer path from GPU i to GPU j, bypassing the
+// root complex. It panics for i == j (use gpu.Device.CopyD2D).
+func (n *Node) P2P(i, j int) *sim.Path {
+	if i == j {
+		panic("pcie: P2P requires distinct GPUs")
+	}
+	return &sim.Path{
+		Name:  fmt.Sprintf("gpu%d->gpu%d", i, j),
+		Links: []*sim.Link{n.gpuTx[i], n.gpuRx[j]},
+	}
+}
+
+// SlotTx returns GPU i's transmit link (used by zero-copy kernels whose
+// writes flow device-to-host).
+func (n *Node) SlotTx(i int) *sim.Link { return n.gpuTx[i] }
+
+// SlotRx returns GPU i's receive link (zero-copy reads, host-to-device).
+func (n *Node) SlotRx(i int) *sim.Link { return n.gpuRx[i] }
+
+// HostCopy moves n bytes between two host buffers on the calling process,
+// charging 2n raw bytes on the host bus.
+func (n *Node) HostCopy(p *sim.Proc, dst, src mem.Buffer) {
+	if dst.Len() != src.Len() {
+		panic("pcie: HostCopy length mismatch")
+	}
+	n.bus.Transfer(p, 2*src.Len())
+	mem.Copy(dst, src)
+}
+
+// DeviceOf returns the GPU owning the given device-memory space, or -1
+// for host memory or a space from another node.
+func (n *Node) DeviceOf(s *mem.Space) int {
+	for i, d := range n.gpus {
+		if d.Mem() == s {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,99 @@
+package pcie
+
+import (
+	"testing"
+
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+func newNode(t *testing.T, ngpus int) (*sim.Engine, *Node) {
+	t.Helper()
+	e := sim.NewEngine()
+	return e, NewNode(e, 0, ngpus, gpu.KeplerK40(), DefaultParams())
+}
+
+func TestP2PFasterThanHostRouted(t *testing.T) {
+	_, n := newNode(t, 2)
+	if p2p, h2d := n.P2P(0, 1).Bandwidth(), n.H2D(1).Bandwidth(); p2p <= h2d {
+		t.Fatalf("P2P %v not faster than H2D %v", p2p, h2d)
+	}
+}
+
+func TestTwoD2HShareRootLink(t *testing.T) {
+	e, n := newNode(t, 2)
+	sz := int64(100 << 20)
+	var ends [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("xfer", func(p *sim.Proc) {
+			n.D2H(i).Transfer(p, sz)
+			ends[i] = p.Now()
+		})
+	}
+	e.Run()
+	solo := sim.TimeForBytes(sz, n.Params().RootGBps)
+	if ends[1] < 2*solo {
+		t.Fatalf("concurrent D2H did not serialize on root: %v vs solo %v", ends[1], solo)
+	}
+}
+
+func TestP2PPairsDoNotContendWithHostTraffic(t *testing.T) {
+	e, n := newNode(t, 3)
+	sz := int64(100 << 20)
+	var p2pEnd sim.Time
+	e.Spawn("p2p", func(p *sim.Proc) {
+		n.P2P(0, 1).Transfer(p, sz)
+		p2pEnd = p.Now()
+	})
+	e.Spawn("h2d", func(p *sim.Proc) {
+		n.H2D(2).Transfer(p, sz)
+	})
+	e.Run()
+	solo := sim.TimeForBytes(sz, n.Params().SlotGBps) + n.P2P(0, 1).Latency()
+	if p2pEnd > solo+sim.Microsecond {
+		t.Fatalf("P2P slowed by unrelated host traffic: %v vs %v", p2pEnd, solo)
+	}
+}
+
+func TestHostCopyMovesBytesAndChargesBus(t *testing.T) {
+	e, n := newNode(t, 1)
+	a := n.Host().Alloc(1<<20, 256)
+	b := n.Host().Alloc(1<<20, 256)
+	mem.FillPattern(a, 5)
+	var dur sim.Time
+	e.Spawn("cp", func(p *sim.Proc) {
+		t0 := p.Now()
+		n.HostCopy(p, b, a)
+		dur = p.Now() - t0
+	})
+	e.Run()
+	if !mem.Equal(a, b) {
+		t.Fatal("copy failed")
+	}
+	want := sim.TimeForBytes(2<<20, n.Params().HostBusRawGBps) + n.HostBus().Latency()
+	if dur != want {
+		t.Fatalf("dur = %v, want %v", dur, want)
+	}
+}
+
+func TestDeviceOf(t *testing.T) {
+	_, n := newNode(t, 2)
+	if got := n.DeviceOf(n.GPU(1).Mem()); got != 1 {
+		t.Fatalf("DeviceOf(gpu1) = %d", got)
+	}
+	if got := n.DeviceOf(n.Host()); got != -1 {
+		t.Fatalf("DeviceOf(host) = %d", got)
+	}
+}
+
+func TestGPUCopyEngineLinksWired(t *testing.T) {
+	_, n := newNode(t, 2)
+	for i := 0; i < 2; i++ {
+		d := n.GPU(i)
+		if d.H2D != n.SlotRx(i) || d.D2H != n.SlotTx(i) {
+			t.Fatalf("gpu %d links not wired", i)
+		}
+	}
+}

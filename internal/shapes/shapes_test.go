@@ -1,0 +1,116 @@
+package shapes
+
+import (
+	"testing"
+
+	"gpuddt/internal/datatype"
+)
+
+func TestSubMatrixIsVector(t *testing.T) {
+	d := SubMatrix(4, 3, 8)
+	v := d.Vector()
+	if v == nil || v.Count != 3 || v.BlockLen != 32 || v.Stride != 64 {
+		t.Fatalf("view = %+v", v)
+	}
+	if d.Size() != 4*3*8 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestLowerTriangularSize(t *testing.T) {
+	n := 6
+	d := LowerTriangular(n)
+	want := int64(n*(n+1)/2) * 8
+	if d.Size() != want {
+		t.Fatalf("size = %d, want %d", d.Size(), want)
+	}
+	if d.Vector() != nil {
+		t.Fatal("triangle must not be a vector")
+	}
+	if d.NumBlocks() != n {
+		t.Fatalf("blocks = %d", d.NumBlocks())
+	}
+}
+
+func TestStairTriangularCoversTriangle(t *testing.T) {
+	n, nb := 8, 4
+	tri := LowerTriangular(n)
+	stair := StairTriangular(n, nb)
+	// The stair contains the triangle (plus the green cells of Fig. 5).
+	if stair.Size() < tri.Size() {
+		t.Fatalf("stair %d < triangle %d", stair.Size(), tri.Size())
+	}
+	// Expected size: group g (columns g*nb..g*nb+nb-1) keeps n - g*nb
+	// elements per column.
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(n-i/nb*nb) * 8
+	}
+	if stair.Size() != want {
+		t.Fatalf("stair size = %d, want %d", stair.Size(), want)
+	}
+	// The first stair group's full-height columns merge into one
+	// contiguous block; later groups stay one block per column.
+	flat := stair.Flat()
+	if flat[0].Len != int64(nb*n)*8 {
+		t.Fatalf("first group block len = %d", flat[0].Len)
+	}
+	if len(flat) != 1+(n-nb) {
+		t.Fatalf("blocks = %d", len(flat))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-dividing nb")
+		}
+	}()
+	StairTriangular(8, 3)
+}
+
+func TestTransposeLayout(t *testing.T) {
+	n := 3
+	d := Transpose(n)
+	// Packed element k must come from memory element (k%n)*n + k/n.
+	c := datatype.NewConverter(d, 1)
+	if c.Total() != int64(n*n*8) {
+		t.Fatalf("total = %d", c.Total())
+	}
+	k := 0
+	c.Advance(c.Total(), func(memOff, packOff, l int64) {
+		for b := int64(0); b < l; b += 8 {
+			e := memOff + b
+			row := k / n
+			col := k % n
+			if want := int64(col*n+row) * 8; e != want {
+				t.Fatalf("packed elem %d from mem %d, want %d", k, e, want)
+			}
+			k++
+		}
+	})
+	if k != n*n {
+		t.Fatalf("visited %d elements", k)
+	}
+}
+
+func TestHaloColumn(t *testing.T) {
+	d := HaloColumn(4)
+	v := d.Vector()
+	if v == nil || v.Count != 4 || v.BlockLen != 8 || v.Stride != 6*8 {
+		t.Fatalf("view = %+v", v)
+	}
+}
+
+func TestParticleIndices(t *testing.T) {
+	d := ParticleIndices([]int{0, 3, 7}, 5)
+	if d.Size() != 3*5*8 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	flat := d.Flat()
+	if len(flat) != 3 || flat[1].Off != 3*5*8 || flat[1].Len != 40 {
+		t.Fatalf("flat = %v", flat)
+	}
+	// Adjacent indices merge.
+	m := ParticleIndices([]int{2, 3}, 4)
+	if m.NumBlocks() != 1 {
+		t.Fatalf("adjacent records not merged: %v", m.Flat())
+	}
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		p.Sleep(3 * Microsecond)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 8*Microsecond {
+		t.Fatalf("end = %v, want 8us", end)
+	}
+}
+
+func TestSpawnStartsAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var childStart Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		e.Spawn("child", func(c *Proc) {
+			childStart = c.Now()
+		})
+	})
+	e.Run()
+	if childStart != 2*Millisecond {
+		t.Fatalf("child started at %v, want 2ms", childStart)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() string {
+		var log []string
+		e := NewEngine()
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(Time(i+1) * Microsecond)
+					log = append(log, fmt.Sprintf("p%d@%v", i, p.Now()))
+				}
+			})
+		}
+		e.Run()
+		return strings.Join(log, " ")
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic run:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.HasPrefix(first, "p0@1.00us p1@2.00us p0@2.00us") {
+		t.Fatalf("unexpected order: %s", first)
+	}
+}
+
+func TestSameInstantEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFutureWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	f := e.NewFuture()
+	woke := make([]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			if got := f.Await(p); got != "payload" {
+				t.Errorf("value = %v", got)
+			}
+			woke[i] = p.Now()
+		})
+	}
+	e.Spawn("completer", func(p *Proc) {
+		p.Sleep(7 * Microsecond)
+		f.Complete("payload")
+	})
+	e.Run()
+	for i, w := range woke {
+		if w != 7*Microsecond {
+			t.Fatalf("waiter %d woke at %v", i, w)
+		}
+	}
+}
+
+func TestFutureAwaitAfterCompleteReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	f := e.NewFuture()
+	e.Spawn("a", func(p *Proc) {
+		f.Complete(42)
+		before := p.Now()
+		if v := f.Await(p); v != 42 {
+			t.Errorf("value = %v", v)
+		}
+		if p.Now() != before {
+			t.Errorf("await of done future advanced time")
+		}
+	})
+	e.Run()
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		f := e.NewFuture()
+		f.Complete(nil)
+		f.Complete(nil)
+	})
+	e.Run()
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("m")
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, m.Get(p).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(Microsecond)
+			m.Put(i)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMailboxBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("m")
+	var when Time
+	e.Spawn("consumer", func(p *Proc) {
+		m.Get(p)
+		when = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(9 * Microsecond)
+		m.Put("x")
+	})
+	e.Run()
+	if when != 9*Microsecond {
+		t.Fatalf("consumer resumed at %v", when)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("r", 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * Microsecond)
+			r.Release()
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10 * Microsecond, 20 * Microsecond, 30 * Microsecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("r", 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, func() { p.Sleep(10 * Microsecond) })
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10 * Microsecond, 10 * Microsecond, 20 * Microsecond, 20 * Microsecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	e := NewEngine()
+	m := e.NewMailbox("never")
+	e.Spawn("stuck", func(p *Proc) { m.Get(p) })
+	e.Run()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("boom")
+	})
+	e.Run()
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.50ns"},
+		{2500 * Nanosecond, "2.50us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.0000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeForBytesRoundTrip(t *testing.T) {
+	d := TimeForBytes(1<<30, 10) // 1 GiB at 10 GB/s
+	if got := GBps(1<<30, d); got < 9.99 || got > 10.01 {
+		t.Fatalf("GBps = %v", got)
+	}
+}
+
+func TestDaemonDoesNotBlockCompletion(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("work")
+	var served int
+	e.SpawnDaemon("worker", func(p *Proc) {
+		for {
+			m.Get(p)
+			p.Sleep(Microsecond)
+			served++
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		m.Put(1)
+		m.Put(2)
+		p.Sleep(10 * Microsecond)
+	})
+	e.Run() // must terminate despite the blocked daemon
+	if served != 2 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestAfterRunsCallbacks(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(5*Microsecond, func() { at = e.Now() })
+	e.Spawn("keepalive", func(p *Proc) { p.Sleep(10 * Microsecond) })
+	e.Run()
+	if at != 5*Microsecond {
+		t.Fatalf("callback at %v", at)
+	}
+}
+
+func TestTraceHookFires(t *testing.T) {
+	e := NewEngine()
+	var lines int
+	e.Trace = func(tm Time, format string, args ...interface{}) { lines++ }
+	e.Spawn("a", func(p *Proc) { p.Sleep(Microsecond) })
+	e.Run()
+	if lines == 0 {
+		t.Fatal("trace hook never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		e.After(-20*Microsecond, func() {})
+	})
+	e.Run()
+}
+
+func TestYieldOrdersWithQueuedEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("first", func(p *Proc) {
+		e.After(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "resumed")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "event" || order[1] != "resumed" {
+		t.Fatalf("order = %v", order)
+	}
+}

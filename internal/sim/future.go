@@ -1,0 +1,66 @@
+package sim
+
+// Future is a one-shot completion signal carrying an optional value.
+// A process blocks on Await until another process (or an engine callback)
+// calls Complete. Completing an already-complete future panics.
+//
+// Futures are the simulation analogue of CUDA events and of request
+// completion in the MPI layer.
+type Future struct {
+	e       *Engine
+	done    bool
+	at      Time
+	value   interface{}
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete future bound to the engine.
+func (e *Engine) NewFuture() *Future { return &Future{e: e} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// CompletedAt returns the virtual time of completion; zero if not done.
+func (f *Future) CompletedAt() Time { return f.at }
+
+// Value returns the value passed to Complete; nil if not done.
+func (f *Future) Value() interface{} { return f.value }
+
+// Complete marks the future done at the current virtual time and wakes all
+// waiters (at the same instant, in wait order).
+func (f *Future) Complete(value interface{}) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.at = f.e.now
+	f.value = value
+	for _, p := range f.waiters {
+		f.e.unpark(p, f.e.now)
+	}
+	f.waiters = nil
+}
+
+// CompleteAfter schedules completion d from now.
+func (f *Future) CompleteAfter(d Time, value interface{}) {
+	f.e.After(d, func() { f.Complete(value) })
+}
+
+// Await blocks the calling process until the future completes and returns
+// its value. If the future is already complete it returns immediately
+// without yielding.
+func (f *Future) Await(p *Proc) interface{} {
+	if f.done {
+		return f.value
+	}
+	f.waiters = append(f.waiters, p)
+	p.park("await future")
+	return f.value
+}
+
+// AwaitAll blocks until every future in fs has completed.
+func AwaitAll(p *Proc, fs ...*Future) {
+	for _, f := range fs {
+		f.Await(p)
+	}
+}

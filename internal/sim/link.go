@@ -1,0 +1,179 @@
+package sim
+
+// Link models a point-to-point transfer resource with finite bandwidth and
+// fixed propagation latency: a PCIe direction, a DRAM port, an InfiniBand
+// wire, a host memory bus.
+//
+// A transfer occupies the link for bytes/bandwidth (store-and-forward
+// serialization: concurrent transfers queue FIFO), and the data arrives
+// latency after the occupancy ends. The link is free for the next transfer
+// during the propagation latency, which is what makes fragment pipelines
+// effective, exactly as on real hardware.
+type Link struct {
+	e       *Engine
+	id      uint64
+	name    string
+	bwGBps  float64
+	latency Time
+	busy    *Resource
+
+	// Overhead is a fixed per-transfer setup cost charged while holding
+	// the link (e.g. DMA descriptor setup). Zero by default.
+	Overhead Time
+
+	bytesMoved int64
+	busyTime   Time
+}
+
+// NewLink returns a link with the given bandwidth (GB/s) and latency.
+func (e *Engine) NewLink(name string, bwGBps float64, latency Time) *Link {
+	if bwGBps <= 0 {
+		panic("sim: link bandwidth must be positive: " + name)
+	}
+	e.linkSeq++
+	l := &Link{
+		e:       e,
+		id:      e.linkSeq,
+		name:    name,
+		bwGBps:  bwGBps,
+		latency: latency,
+		busy:    e.NewResource(name, 1),
+	}
+	e.links = append(e.links, l)
+	return l
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link bandwidth in GB/s.
+func (l *Link) Bandwidth() float64 { return l.bwGBps }
+
+// Latency returns the propagation latency.
+func (l *Link) Latency() Time { return l.latency }
+
+// OccupancyFor returns the serialization time for n bytes.
+func (l *Link) OccupancyFor(n int64) Time {
+	return l.Overhead + TimeForBytes(n, l.bwGBps)
+}
+
+// Transfer moves n bytes over the link and blocks the calling process
+// until the data has arrived at the far end (occupancy + latency).
+func (l *Link) Transfer(p *Proc, n int64) {
+	l.occupy(p, n)
+	p.Sleep(l.latency)
+}
+
+// TransferAsync moves n bytes over the link from a background process and
+// completes the returned future when the data has arrived. The calling
+// process continues immediately.
+func (l *Link) TransferAsync(n int64) *Future {
+	f := l.e.NewFuture()
+	l.e.Spawn(l.name+".xfer", func(p *Proc) {
+		l.occupy(p, n)
+		p.Sleep(l.latency)
+		f.Complete(nil)
+	})
+	return f
+}
+
+// Occupy holds the link for the serialization time of n bytes without the
+// trailing propagation latency. Use it when the caller accounts for
+// latency itself (e.g. a path of several links).
+func (l *Link) Occupy(p *Proc, n int64) { l.occupy(p, n) }
+
+func (l *Link) occupy(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative transfer size on " + l.name)
+	}
+	l.busy.Acquire(p)
+	d := l.OccupancyFor(n)
+	p.Sleep(d)
+	l.bytesMoved += n
+	l.busyTime += d
+	l.busy.Release()
+}
+
+// HoldFor occupies the link exclusively for an explicit duration while
+// accounting n bytes of traffic. Used when the effective occupancy is
+// dictated by a coupled resource (e.g. a zero-copy kernel whose device
+// side is slower than the wire).
+func (l *Link) HoldFor(p *Proc, n int64, d Time) {
+	l.busy.Acquire(p)
+	p.Sleep(d)
+	l.bytesMoved += n
+	l.busyTime += d
+	l.busy.Release()
+}
+
+// BytesMoved returns the total bytes transferred so far.
+func (l *Link) BytesMoved() int64 { return l.bytesMoved }
+
+// BusyTime returns the cumulative occupancy time.
+func (l *Link) BusyTime() Time { return l.busyTime }
+
+// Path is an ordered sequence of links traversed by a single transfer
+// (e.g. GPU0→switch→GPU1). Hardware forwards at packet granularity
+// (cut-through), so a path transfer holds every hop simultaneously for
+// the bottleneck hop's serialization time — back-pressure stalls the
+// faster hops — and the data arrives after the sum of hop latencies.
+type Path struct {
+	Name  string
+	Links []*Link
+}
+
+// Transfer moves n bytes along the path, blocking until arrival.
+func (pa *Path) Transfer(p *Proc, n int64) {
+	pa.Occupy(p, n)
+	p.Sleep(pa.Latency())
+}
+
+// Occupy holds every hop for the bottleneck serialization time of n
+// bytes, without the trailing propagation latency. Hops are locked in a
+// global deterministic order (link creation order) so overlapping paths
+// cannot deadlock.
+func (pa *Path) Occupy(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative transfer size on path " + pa.Name)
+	}
+	locked := make([]*Link, len(pa.Links))
+	copy(locked, pa.Links)
+	for i := 1; i < len(locked); i++ {
+		for j := i; j > 0 && locked[j].id < locked[j-1].id; j-- {
+			locked[j], locked[j-1] = locked[j-1], locked[j]
+		}
+	}
+	var occ Time
+	for _, l := range locked {
+		l.busy.Acquire(p)
+		if o := l.OccupancyFor(n); o > occ {
+			occ = o
+		}
+	}
+	p.Sleep(occ)
+	for _, l := range locked {
+		l.bytesMoved += n
+		l.busyTime += occ
+		l.busy.Release()
+	}
+}
+
+// Bandwidth returns the bottleneck bandwidth of the path in GB/s.
+func (pa *Path) Bandwidth() float64 {
+	bw := 0.0
+	for i, l := range pa.Links {
+		if i == 0 || l.bwGBps < bw {
+			bw = l.bwGBps
+		}
+	}
+	return bw
+}
+
+// Latency returns the end-to-end propagation latency of the path.
+func (pa *Path) Latency() Time {
+	var lat Time
+	for _, l := range pa.Links {
+		lat += l.latency
+	}
+	return lat
+}

@@ -1,0 +1,62 @@
+// Package trace reports resource utilization of a finished (or paused)
+// simulation: per-link bytes moved, busy time and utilization over the
+// elapsed virtual time. It answers the questions the paper's evaluation
+// keeps asking — "is PCIe the bottleneck?", "how idle is the GPU?" —
+// directly from the model's own accounting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuddt/internal/sim"
+)
+
+// LinkStat is one row of the utilization report.
+type LinkStat struct {
+	Name        string
+	Bytes       int64
+	Busy        sim.Time
+	Utilization float64 // busy / elapsed
+	AvgGBps     float64 // achieved bytes over elapsed time
+}
+
+// Collect gathers statistics for every link on the engine, sorted by
+// descending utilization. Links that never moved a byte are skipped.
+func Collect(e *sim.Engine) []LinkStat {
+	elapsed := e.Now()
+	var out []LinkStat
+	for _, l := range e.Links() {
+		if l.BytesMoved() == 0 {
+			continue
+		}
+		st := LinkStat{
+			Name:  l.Name(),
+			Bytes: l.BytesMoved(),
+			Busy:  l.BusyTime(),
+		}
+		if elapsed > 0 {
+			st.Utilization = float64(l.BusyTime()) / float64(elapsed)
+			st.AvgGBps = sim.GBps(l.BytesMoved(), elapsed)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Report writes the utilization table.
+func Report(w io.Writer, e *sim.Engine) {
+	fmt.Fprintf(w, "link utilization over %v of virtual time:\n", e.Now())
+	fmt.Fprintf(w, "  %-22s %12s %12s %8s %10s\n", "link", "bytes", "busy", "util", "avg GB/s")
+	for _, st := range Collect(e) {
+		fmt.Fprintf(w, "  %-22s %12d %12v %7.1f%% %10.2f\n",
+			st.Name, st.Bytes, st.Busy, 100*st.Utilization, st.AvgGBps)
+	}
+}

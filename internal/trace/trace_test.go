@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gpuddt/internal/sim"
+)
+
+func TestCollectAndReport(t *testing.T) {
+	e := sim.NewEngine()
+	busy := e.NewLink("busy", 1, 0)  // 1 GB/s
+	idle := e.NewLink("idle", 10, 0) // never used
+	half := e.NewLink("half", 2, 0)
+	e.Spawn("load", func(p *sim.Proc) {
+		busy.Transfer(p, 1000*1000) // 1 ms at 1 GB/s
+	})
+	e.Spawn("load2", func(p *sim.Proc) {
+		half.Transfer(p, 1000*1000) // 0.5 ms at 2 GB/s
+	})
+	e.Run()
+	_ = idle
+
+	stats := Collect(e)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d rows, want 2 (idle link skipped)", len(stats))
+	}
+	if stats[0].Name != "busy" {
+		t.Fatalf("rows not sorted by utilization: %+v", stats)
+	}
+	if stats[0].Utilization < 0.99 || stats[0].Utilization > 1.01 {
+		t.Fatalf("busy utilization = %v", stats[0].Utilization)
+	}
+	if stats[1].Utilization < 0.49 || stats[1].Utilization > 0.51 {
+		t.Fatalf("half utilization = %v", stats[1].Utilization)
+	}
+
+	var sb strings.Builder
+	Report(&sb, e)
+	out := sb.String()
+	if !strings.Contains(out, "busy") || strings.Contains(out, "idle") {
+		t.Fatalf("report content wrong:\n%s", out)
+	}
+}
