@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench figures examples tools clean
+.PHONY: all test race check fuzz golden bench figures examples tools clean
 
 all: test
 
@@ -13,6 +13,26 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Full CI gate: build, vet, race-enabled tests (includes the
+# differential oracle, channel round-trips, golden traces, cmd smoke
+# tests and example builds), then a short fuzz smoke on both targets.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzPackUnpack -fuzztime 10s
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzDEVSplit -fuzztime 10s
+
+# Longer fuzzing session against the differential oracle.
+fuzz:
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzPackUnpack -fuzztime 2m
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzDEVSplit -fuzztime 2m
+
+# Re-record golden traces after an explained behavioural change.
+golden:
+	$(GO) test ./internal/bench -run TestGoldenFigures -update
+	$(GO) test ./internal/conformance -run TestGoldenTrees -update
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

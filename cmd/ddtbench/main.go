@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,7 +20,7 @@ import (
 	"gpuddt/internal/bench"
 )
 
-func parseSizes(s string) []int {
+func parseSizes(s string, errOut io.Writer) ([]int, bool) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
@@ -28,25 +29,31 @@ func parseSizes(s string) []int {
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "ddtbench: bad size %q\n", f)
-			os.Exit(2)
+			fmt.Fprintf(errOut, "ddtbench: bad size %q\n", f)
+			return nil, false
 		}
 		out = append(out, n)
 	}
-	return out
+	return out, true
 }
 
-func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: fig1, fig6..fig12 (a/b/c for fig10), sec5.3, sec5.4, apps, whatif-gpu, ablations, all")
-	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
-	quick := flag.Bool("quick", false, "small sweeps for a fast smoke run")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	flag.Parse()
+// Run executes the command against args (without the program name) and
+// returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("ddtbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	figure := fs.String("figure", "all", "figure to regenerate: fig1, fig6..fig12 (a/b/c for fig10), sec5.3, sec5.4, apps, whatif-gpu, ablations, all")
+	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
+	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	emit := func(f *bench.Figure) {
 		if *csv {
-			f.PrintCSV(os.Stdout)
+			f.PrintCSV(out)
 		} else {
-			f.Print(os.Stdout)
+			f.Print(out)
 		}
 	}
 
@@ -61,7 +68,11 @@ func main() {
 		blockCounts = []int64{1024}
 	}
 	if *sizesFlag != "" {
-		sizes = parseSizes(*sizesFlag)
+		var ok bool
+		sizes, ok = parseSizes(*sizesFlag, errOut)
+		if !ok {
+			return 2
+		}
 		ppSizes = sizes
 		trSizes = sizes
 	}
@@ -110,7 +121,12 @@ func main() {
 		emit(r.fn())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "ddtbench: unknown figure %q\n", *figure)
-		os.Exit(2)
+		fmt.Fprintf(errOut, "ddtbench: unknown figure %q\n", *figure)
+		return 2
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
 }

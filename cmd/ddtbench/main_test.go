@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-quick", "-figure", "fig9", "-sizes", "512"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fig9") {
+		t.Errorf("output does not mention fig9:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "512") {
+		t.Errorf("output does not include the requested size:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-figure", "fig6", "-sizes", "512", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), ",") {
+		t.Errorf("CSV output has no commas:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-figure", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown figure: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-sizes", "banana"}, &out, &errOut); code != 2 {
+		t.Errorf("bad size: exit %d, want 2", code)
+	}
+}

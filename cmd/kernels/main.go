@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -17,33 +18,44 @@ import (
 	"gpuddt/internal/bench"
 )
 
-func main() {
-	which := flag.String("bench", "fig6", "fig6, fig7, fig8, unitsize")
-	sizesFlag := flag.String("sizes", "1024,2048,4096,8192", "matrix sizes")
-	n := flag.Int("n", 2048, "matrix size for the unit-size ablation")
-	flag.Parse()
+// Run executes the command against args (without the program name) and
+// returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("kernels", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	which := fs.String("bench", "fig6", "fig6, fig7, fig8, unitsize")
+	sizesFlag := fs.String("sizes", "1024,2048,4096,8192", "matrix sizes")
+	n := fs.Int("n", 2048, "matrix size for the unit-size ablation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var sizes []int
 	for _, f := range strings.Split(*sizesFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kernels: bad size %q\n", f)
-			os.Exit(2)
+			fmt.Fprintf(errOut, "kernels: bad size %q\n", f)
+			return 2
 		}
 		sizes = append(sizes, v)
 	}
 
 	switch *which {
 	case "fig6":
-		bench.Fig6(sizes).Print(os.Stdout)
+		bench.Fig6(sizes).Print(out)
 	case "fig7":
-		bench.Fig7(sizes).Print(os.Stdout)
+		bench.Fig7(sizes).Print(out)
 	case "fig8":
-		bench.Fig8([]int64{1024, 8192}, bench.Fig8BlockSizes).Print(os.Stdout)
+		bench.Fig8([]int64{1024, 8192}, bench.Fig8BlockSizes).Print(out)
 	case "unitsize":
-		bench.AblationUnitSize(*n, []int64{256, 512, 1024, 2048, 4096}).Print(os.Stdout)
+		bench.AblationUnitSize(*n, []int64{256, 512, 1024, 2048, 4096}).Print(out)
 	default:
-		fmt.Fprintf(os.Stderr, "kernels: unknown bench %q\n", *which)
-		os.Exit(2)
+		fmt.Fprintf(errOut, "kernels: unknown bench %q\n", *which)
+		return 2
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
 }

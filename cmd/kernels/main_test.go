@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBenches(t *testing.T) {
+	for _, b := range []string{"fig6", "fig7"} {
+		var out, errOut bytes.Buffer
+		if code := Run([]string{"-bench", b, "-sizes", "512"}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", b, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), b) {
+			t.Errorf("%s output does not mention the figure:\n%s", b, out.String())
+		}
+	}
+}
+
+func TestRunUnitSize(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-bench", "unitsize", "-n", "512"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if out.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-bench", "fig99"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown bench: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-sizes", "x"}, &out, &errOut); code != 2 {
+		t.Errorf("bad size: exit %d, want 2", code)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gpuddt/internal/baseline"
@@ -20,19 +21,25 @@ import (
 	"gpuddt/internal/sim"
 )
 
-func main() {
-	topoFlag := flag.String("topo", "2gpu", "topology: 1gpu, 2gpu, ib")
-	typeFlag := flag.String("type", "vector", "datatype: vector, triangular, contiguous, transpose, vec2contig")
-	n := flag.Int("n", 4096, "matrix size N (N x N doubles)")
-	iters := flag.Int("iters", 5, "measured iterations")
-	impl := flag.String("impl", "ours", "implementation: ours, mvapich")
-	frag := flag.Int64("frag", 0, "pipeline fragment bytes (0 = default 1 MiB)")
-	depth := flag.Int("depth", 0, "pipeline depth (0 = default 4)")
-	host := flag.Bool("host", false, "place the data in host memory (CPU datatype engine)")
-	blocks := flag.Int("blocks", 0, "restrict pack/unpack kernels to this many CUDA blocks")
-	direct := flag.Bool("direct-unpack", false, "unpack directly from remote GPU memory (no staging)")
-	verbose := flag.Bool("verbose", false, "print a link-utilization report after the run")
-	flag.Parse()
+// Run executes the command against args (without the program name) and
+// returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("pingpong", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	topoFlag := fs.String("topo", "2gpu", "topology: 1gpu, 2gpu, ib")
+	typeFlag := fs.String("type", "vector", "datatype: vector, triangular, contiguous, transpose, vec2contig")
+	n := fs.Int("n", 4096, "matrix size N (N x N doubles)")
+	iters := fs.Int("iters", 5, "measured iterations")
+	impl := fs.String("impl", "ours", "implementation: ours, mvapich")
+	frag := fs.Int64("frag", 0, "pipeline fragment bytes (0 = default 1 MiB)")
+	depth := fs.Int("depth", 0, "pipeline depth (0 = default 4)")
+	host := fs.Bool("host", false, "place the data in host memory (CPU datatype engine)")
+	blocks := fs.Int("blocks", 0, "restrict pack/unpack kernels to this many CUDA blocks")
+	direct := fs.Bool("direct-unpack", false, "unpack directly from remote GPU memory (no staging)")
+	verbose := fs.Bool("verbose", false, "print a link-utilization report after the run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var topo bench.Topology
 	switch *topoFlag {
@@ -43,8 +50,8 @@ func main() {
 	case "ib":
 		topo = bench.TwoNode
 	default:
-		fmt.Fprintf(os.Stderr, "pingpong: unknown topology %q\n", *topoFlag)
-		os.Exit(2)
+		fmt.Fprintf(errOut, "pingpong: unknown topology %q\n", *topoFlag)
+		return 2
 	}
 
 	var dt0, dt1 *datatype.Datatype
@@ -62,16 +69,16 @@ func main() {
 		dt0 = shapes.SubMatrix(*n, *n, *n+32)
 		dt1 = shapes.FullMatrix(*n)
 	default:
-		fmt.Fprintf(os.Stderr, "pingpong: unknown type %q\n", *typeFlag)
-		os.Exit(2)
+		fmt.Fprintf(errOut, "pingpong: unknown type %q\n", *typeFlag)
+		return 2
 	}
 
 	var strategy mpi.Strategy
 	if *impl == "mvapich" {
 		strategy = &baseline.MVAPICHStrategy{}
 	} else if *impl != "ours" {
-		fmt.Fprintf(os.Stderr, "pingpong: unknown impl %q\n", *impl)
-		os.Exit(2)
+		fmt.Fprintf(errOut, "pingpong: unknown impl %q\n", *impl)
+		return 2
 	}
 
 	spec := bench.PingPongSpec{
@@ -90,13 +97,18 @@ func main() {
 		BlockCap: *blocks,
 	}
 	if *verbose {
-		spec.Trace = os.Stderr
+		spec.Trace = errOut
 	}
 	rt := bench.PingPong(spec)
-	fmt.Printf("topology=%s type=%s N=%d impl=%s packed=%s\n",
+	fmt.Fprintf(out, "topology=%s type=%s N=%d impl=%s packed=%s\n",
 		topo, *typeFlag, *n, *impl, fmtBytes(dt0.Size()))
-	fmt.Printf("round-trip: %v   one-way: %v   bandwidth: %.2f GB/s\n",
+	fmt.Fprintf(out, "round-trip: %v   one-way: %v   bandwidth: %.2f GB/s\n",
 		rt, rt/2, sim.GBps(dt0.Size(), rt/2))
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func fmtBytes(n int64) string {

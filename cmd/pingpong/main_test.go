@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsBandwidth(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-n", "512", "-iters", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "bandwidth:") || !strings.Contains(got, "GB/s") {
+		t.Errorf("no bandwidth report in output:\n%s", got)
+	}
+}
+
+func TestRunAllTopologies(t *testing.T) {
+	for _, topo := range []string{"1gpu", "2gpu", "ib"} {
+		var out, errOut bytes.Buffer
+		if code := Run([]string{"-topo", topo, "-n", "512", "-iters", "1"}, &out, &errOut); code != 0 {
+			t.Errorf("topo %s: exit %d, stderr: %s", topo, code, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-topo", "3gpu"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown topo: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-type", "diagonal"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown type: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-impl", "openmpi-1.8"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown impl: exit %d, want 2", code)
+	}
+}

@@ -7,6 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/ib"
@@ -14,44 +16,55 @@ import (
 	"gpuddt/internal/sim"
 )
 
-func main() {
-	gpus := flag.Int("gpus", 2, "GPUs per node")
-	nodes := flag.Int("nodes", 2, "nodes in the cluster")
-	flag.Parse()
+// Run executes the command against args (without the program name) and
+// returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	gpus := fs.Int("gpus", 2, "GPUs per node")
+	nodes := fs.Int("nodes", 2, "nodes in the cluster")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	g := gpu.KeplerK40()
 	p := pcie.DefaultParams()
 	f := ib.DefaultParams()
 
-	fmt.Printf("Simulated cluster: %d node(s) x %d %s GPU(s)\n\n", *nodes, *gpus, g.Name)
+	fmt.Fprintf(out, "Simulated cluster: %d node(s) x %d %s GPU(s)\n\n", *nodes, *gpus, g.Name)
 
-	fmt.Printf("GPU (%s):\n", g.Name)
-	fmt.Printf("  SMs                      %d (default grid %d blocks)\n", g.SMCount, g.DefaultBlocks)
-	fmt.Printf("  raw DRAM bandwidth       %.0f GB/s (cudaMemcpy D2D ~%.0f GB/s effective)\n",
+	fmt.Fprintf(out, "GPU (%s):\n", g.Name)
+	fmt.Fprintf(out, "  SMs                      %d (default grid %d blocks)\n", g.SMCount, g.DefaultBlocks)
+	fmt.Fprintf(out, "  raw DRAM bandwidth       %.0f GB/s (cudaMemcpy D2D ~%.0f GB/s effective)\n",
 		g.DRAMRawGBps, g.DRAMRawGBps/2*g.MemcpyD2DEff)
-	fmt.Printf("  per-block raw rate       %.0f GB/s\n", g.PerBlockRawGBps)
-	fmt.Printf("  kernel launch            %v, memcpy call %v\n", g.KernelLaunch, g.MemcpyOverhead)
-	fmt.Printf("  vector kernel eff        %.0f%% of peak (paper: 94%%)\n", 100*g.VectorKernelEff)
-	fmt.Printf("  DEV kernel eff           %.0f%% base; penalties: misaligned +%dB, partial +%dB raw/unit\n",
+	fmt.Fprintf(out, "  per-block raw rate       %.0f GB/s\n", g.PerBlockRawGBps)
+	fmt.Fprintf(out, "  kernel launch            %v, memcpy call %v\n", g.KernelLaunch, g.MemcpyOverhead)
+	fmt.Fprintf(out, "  vector kernel eff        %.0f%% of peak (paper: 94%%)\n", 100*g.VectorKernelEff)
+	fmt.Fprintf(out, "  DEV kernel eff           %.0f%% base; penalties: misaligned +%dB, partial +%dB raw/unit\n",
 		100*g.DEVKernelEff, g.MisalignPenaltyRaw, g.PartialPenaltyRaw)
-	fmt.Printf("  memcpy2d pitch cliff     %.0f%% aligned / %.0f%% misaligned, %v per row\n",
+	fmt.Fprintf(out, "  memcpy2d pitch cliff     %.0f%% aligned / %.0f%% misaligned, %v per row\n",
 		100*g.Memcpy2DAlignedEff, 100*g.Memcpy2DMisalignedEff, g.Memcpy2DPerRow)
-	fmt.Printf("  device memory            %.1f GiB simulated\n\n", float64(g.MemBytes)/(1<<30))
+	fmt.Fprintf(out, "  device memory            %.1f GiB simulated\n\n", float64(g.MemBytes)/(1<<30))
 
-	fmt.Printf("PCIe (per node):\n")
-	fmt.Printf("  root complex             %.1f GB/s per direction, %v per hop\n", p.RootGBps, p.HopLatency)
-	fmt.Printf("  GPU slots                %.1f GB/s per direction (P2P bypasses the root)\n", p.SlotGBps)
-	fmt.Printf("  host memory bus          %.0f GB/s raw (memcpy ~%.0f GB/s)\n", p.HostBusRawGBps, p.HostBusRawGBps/2)
-	fmt.Printf("  CUDA IPC map             %v one-time per handle\n\n", p.IPCMapCost)
+	fmt.Fprintf(out, "PCIe (per node):\n")
+	fmt.Fprintf(out, "  root complex             %.1f GB/s per direction, %v per hop\n", p.RootGBps, p.HopLatency)
+	fmt.Fprintf(out, "  GPU slots                %.1f GB/s per direction (P2P bypasses the root)\n", p.SlotGBps)
+	fmt.Fprintf(out, "  host memory bus          %.0f GB/s raw (memcpy ~%.0f GB/s)\n", p.HostBusRawGBps, p.HostBusRawGBps/2)
+	fmt.Fprintf(out, "  CUDA IPC map             %v one-time per handle\n\n", p.IPCMapCost)
 
-	fmt.Printf("InfiniBand (FDR):\n")
-	fmt.Printf("  wire                     %.1f GB/s per direction, %v latency\n", f.WireGBps, f.Latency)
-	fmt.Printf("  message post             %v; registration %v (cached)\n", f.PerMsgOverhead, f.RegCost)
-	fmt.Printf("  GPUDirect RDMA (large)   %.1f GB/s (why large transfers stage through host)\n\n", f.GPUDirectReadGBps)
+	fmt.Fprintf(out, "InfiniBand (FDR):\n")
+	fmt.Fprintf(out, "  wire                     %.1f GB/s per direction, %v latency\n", f.WireGBps, f.Latency)
+	fmt.Fprintf(out, "  message post             %v; registration %v (cached)\n", f.PerMsgOverhead, f.RegCost)
+	fmt.Fprintf(out, "  GPUDirect RDMA (large)   %.1f GB/s (why large transfers stage through host)\n\n", f.GPUDirectReadGBps)
 
-	fmt.Printf("Derived sanity numbers:\n")
+	fmt.Fprintf(out, "Derived sanity numbers:\n")
 	oneMB := int64(1 << 20)
-	fmt.Printf("  1 MiB over PCIe root     %v\n", sim.TimeForBytes(oneMB, p.RootGBps))
-	fmt.Printf("  1 MiB over IB wire       %v\n", sim.TimeForBytes(oneMB, f.WireGBps))
-	fmt.Printf("  1 MiB cudaMemcpy D2D     %v\n", sim.TimeForBytes(2*oneMB, g.DRAMRawGBps))
+	fmt.Fprintf(out, "  1 MiB over PCIe root     %v\n", sim.TimeForBytes(oneMB, p.RootGBps))
+	fmt.Fprintf(out, "  1 MiB over IB wire       %v\n", sim.TimeForBytes(oneMB, f.WireGBps))
+	fmt.Fprintf(out, "  1 MiB cudaMemcpy D2D     %v\n", sim.TimeForBytes(2*oneMB, g.DRAMRawGBps))
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
 }

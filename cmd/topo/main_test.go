@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsCalibration(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"GPU", "PCIe", "InfiniBand", "1 MiB over IB wire"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

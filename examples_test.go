@@ -1,0 +1,48 @@
+package gpuddt_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamples builds and executes every example program, asserting it
+// exits 0 and prints its self-verification marker. Each example checks
+// its own transfer byte-for-byte, so a pass means the documented usage
+// actually works end to end.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			var stdout, stderr bytes.Buffer
+			run := exec.Command(bin)
+			run.Stdout = &stdout
+			run.Stderr = &stderr
+			if err := run.Run(); err != nil {
+				t.Fatalf("run failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "verified:") {
+				t.Errorf("no verification marker in output:\n%s", stdout.String())
+			}
+		})
+	}
+}

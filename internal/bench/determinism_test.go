@@ -1,0 +1,35 @@
+package bench_test
+
+import (
+	"testing"
+
+	"gpuddt/internal/bench"
+)
+
+// TestDeterministicVirtualTime runs the same figure twice in fresh
+// simulations and requires bit-identical results. Virtual time must not
+// depend on goroutine scheduling, map order or wall-clock — this test
+// (run under -race in CI) is what makes the golden traces trustworthy.
+func TestDeterministicVirtualTime(t *testing.T) {
+	sizes := []int{512, 1024}
+	a := bench.Fig9(sizes)
+	b := bench.Fig9(sizes)
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series count differs between runs: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		sa, sb := a.Series[i], b.Series[i]
+		if sa.Name != sb.Name {
+			t.Fatalf("series %d named %q then %q", i, sa.Name, sb.Name)
+		}
+		if len(sa.Points) != len(sb.Points) {
+			t.Fatalf("series %q: %d points then %d", sa.Name, len(sa.Points), len(sb.Points))
+		}
+		for j := range sa.Points {
+			if sa.Points[j] != sb.Points[j] {
+				t.Errorf("series %q point %d: %+v then %+v — virtual time is nondeterministic",
+					sa.Name, j, sa.Points[j], sb.Points[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package bench_test
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"gpuddt/internal/bench"
+	"gpuddt/internal/conformance"
+)
+
+var update = flag.Bool("update", false, "regenerate golden figure traces")
+
+// TestGoldenFigures gates every figure runner on its recorded
+// virtual-time trace. The simulator is deterministic, so any drift in a
+// point is a real behavioural change: either a regression to fix, or an
+// intended change to explain and re-record with
+//
+//	go test ./internal/bench -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() *bench.Figure
+	}{
+		{"fig1", func() *bench.Figure { return bench.Fig1Solutions([]int{256}) }},
+		{"fig6", func() *bench.Figure { return bench.Fig6([]int{512}) }},
+		{"fig7", func() *bench.Figure { return bench.Fig7([]int{512}) }},
+		{"fig8", func() *bench.Figure { return bench.Fig8([]int64{1024}, []int64{200, 1024, 4096}) }},
+		{"fig9", func() *bench.Figure { return bench.Fig9([]int{512, 1024}) }},
+		{"fig10a", func() *bench.Figure { return bench.Fig10(bench.OneGPU, []int{512, 1024}) }},
+		{"fig10b", func() *bench.Figure { return bench.Fig10(bench.TwoGPU, []int{512, 1024}) }},
+		{"fig10c", func() *bench.Figure { return bench.Fig10(bench.TwoNode, []int{512, 1024}) }},
+		{"fig11", func() *bench.Figure { return bench.Fig11([]int{512, 1024}) }},
+		{"fig12", func() *bench.Figure { return bench.Fig12([]int{256}) }},
+		{"r1", func() *bench.Figure { return bench.Sec53(512, []int{1, 4, 16}) }},
+		{"r2", func() *bench.Figure { return bench.Sec54(512, []float64{0, 0.5, 0.9}) }},
+		{"a1", func() *bench.Figure { return bench.AblationUnitSize(512, []int64{256, 1024, 4096}) }},
+		{"a2", func() *bench.Figure { return bench.AblationPipeline(512, []int64{256 << 10, 1 << 20}) }},
+		{"a3", func() *bench.Figure { return bench.AblationRemoteUnpack([]int{512}) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", c.name+".json")
+			if err := conformance.CheckFigure(path, c.run(), *update); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package conformance
+
+import (
+	"fmt"
+
+	"gpuddt/internal/baseline"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+)
+
+// RTConfig selects one end-to-end round-trip configuration: the channel
+// (smcuda within a node, openib across nodes), the protocol regime
+// (eager vs rendezvous), the rendezvous strategy (the paper's pipelined
+// protocols or the MVAPICH baseline), data placement, and the
+// receive-side layout.
+type RTConfig struct {
+	// Topo is "1gpu" (both ranks one GPU, CUDA IPC), "2gpu" (two GPUs,
+	// P2P over PCIe) or "ib" (two nodes over InfiniBand).
+	Topo string
+
+	// MVAPICH swaps the rendezvous strategy for the baseline.
+	MVAPICH bool
+
+	// OnHost places both buffers in host memory (CPU datatype engine).
+	OnHost bool
+
+	// ForceEager drives the message through the eager bounce-buffer
+	// protocol regardless of size; otherwise the eager limit is dropped
+	// to force the rendezvous pipeline.
+	ForceEager bool
+
+	// RecvContig receives into a contiguous byte buffer instead of the
+	// mirrored non-contiguous layout (pack-side-only check).
+	RecvContig bool
+
+	// DirectRemoteUnpack enables the §5.2.1 ablation: unpack kernels
+	// read straight from the peer GPU's memory.
+	DirectRemoteUnpack bool
+
+	// FragBytes overrides the pipeline fragment size (0 = default);
+	// small values force many fragments through the ring.
+	FragBytes int64
+}
+
+func (c RTConfig) String() string {
+	proto := "rendezvous"
+	if c.ForceEager {
+		proto = "eager"
+	}
+	impl := "pipelined"
+	if c.MVAPICH {
+		impl = "mvapich"
+	}
+	place := "gpu"
+	if c.OnHost {
+		place = "host"
+	}
+	recv := "mirror"
+	if c.RecvContig {
+		recv = "contig"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/%s", c.Topo, proto, impl, place, recv)
+}
+
+func (c RTConfig) placements() []mpi.Placement {
+	switch c.Topo {
+	case "1gpu":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
+	case "2gpu":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
+	case "ib":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
+	default:
+		panic(fmt.Sprintf("conformance: unknown topology %q", c.Topo))
+	}
+}
+
+// RoundTrip sends (tree, count) from rank 0 to rank 1 over the selected
+// channel and verifies the receiver's memory byte-for-byte against the
+// reference walker: scattered bytes must match the sender's data, gap
+// bytes must be untouched. It returns nil when the transfer conforms.
+//
+// Overlapping layouts are rejected by the caller (unpack into an
+// overlapped layout is undefined); zero-size layouts are skipped.
+func RoundTrip(tr *Tree, cfg RTConfig) error {
+	total := tr.Total()
+	if total == 0 {
+		return nil
+	}
+	if !cfg.RecvContig && HasOverlap(tr.Map) {
+		return fmt.Errorf("seed %d: RoundTrip on overlapping layout", tr.Seed)
+	}
+
+	proto := mpi.ProtoOptions{
+		FragBytes:          cfg.FragBytes,
+		DirectRemoteUnpack: cfg.DirectRemoteUnpack,
+	}
+	if cfg.ForceEager {
+		proto.EagerLimit = total + 1
+	} else {
+		proto.EagerLimit = 1
+		if total <= 1 {
+			return nil // cannot force rendezvous below the minimum limit
+		}
+	}
+	var strategy mpi.Strategy
+	if cfg.MVAPICH {
+		strategy = &baseline.MVAPICHStrategy{}
+	}
+
+	w := mpi.NewWorld(mpi.Config{
+		Ranks:    cfg.placements(),
+		Proto:    proto,
+		Strategy: strategy,
+	})
+
+	srcData := pattern(tr.Span, tr.Seed)
+	want := ReferencePack(tr.Map, srcData)
+	recvBase := pattern(tr.Span, tr.Seed+1313)
+
+	alloc := func(m *mpi.Rank, n int64) mem.Buffer {
+		if cfg.OnHost {
+			return m.MallocHost(n)
+		}
+		return m.Malloc(n)
+	}
+
+	var got []byte
+	w.Run(func(m *mpi.Rank) {
+		switch m.Rank() {
+		case 0:
+			buf := alloc(m, tr.Span)
+			copy(buf.Bytes(), srcData)
+			m.Send(buf, tr.Dt, tr.Count, 1, 7)
+		case 1:
+			if cfg.RecvContig {
+				buf := alloc(m, total)
+				m.Recv(buf, datatype.Contiguous(int(total), datatype.Byte), 1, 0, 7)
+				got = append([]byte(nil), buf.Bytes()...)
+			} else {
+				buf := alloc(m, tr.Span)
+				copy(buf.Bytes(), recvBase)
+				m.Recv(buf, tr.Dt, tr.Count, 0, 7)
+				got = append([]byte(nil), buf.Bytes()...)
+			}
+		}
+	})
+
+	if cfg.RecvContig {
+		if i := firstDiff(want, got); i >= 0 {
+			return tr.errf("channel "+cfg.String(), "packed byte %d differs: got %#x want %#x", i, got[i], want[i])
+		}
+		return nil
+	}
+	wantImg := append([]byte(nil), recvBase...)
+	ReferenceUnpack(tr.Map, wantImg, want)
+	if i := firstDiff(wantImg, got); i >= 0 {
+		inGap := true
+		for _, off := range tr.Map {
+			if off == int64(i) {
+				inGap = false
+				break
+			}
+		}
+		where := "data"
+		if inGap {
+			where = "gap"
+		}
+		return tr.errf("channel "+cfg.String(), "%s byte %d differs: got %#x want %#x", where, i, got[i], wantImg[i])
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden tree fingerprints")
+
+// oracleTrees is the seeded sweep size; the acceptance bar is 200.
+const oracleTrees = 224
+
+// oracleFrags cycles odd fragment sizes so converter windows straddle
+// block, unit and chunk boundaries.
+var oracleFrags = []int64{977, 3 << 10, 1021}
+
+// TestOracleSeededTrees is the differential oracle: every seeded tree
+// is packed and unpacked through the four engines — naive reference
+// walker, CPU converter, MVAPICH vectorizer, GPU DEV engine (d2d,
+// d2d2h and zero-copy drivers, vector fast path and generic-DEV
+// ablation, cold and cached) — and every engine must produce
+// byte-identical results.
+func TestOracleSeededTrees(t *testing.T) {
+	n := oracleTrees
+	if testing.Short() {
+		n = 48
+	}
+	var overlapped, zero int
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		tr := NewTree(seed)
+		if err := tr.CheckAll(oracleFrags); err != nil {
+			t.Fatal(err)
+		}
+		if HasOverlap(tr.Map) {
+			overlapped++
+		}
+		if tr.Total() == 0 {
+			zero++
+		}
+	}
+	t.Logf("%d trees conform (%d with overlapping layouts, %d zero-size)", n, overlapped, zero)
+	if zero > n/4 {
+		t.Errorf("%d of %d generated trees are zero-size; generator is degenerate", zero, n)
+	}
+}
+
+// TestOracleLargeUnits widens the DEV split size and narrows it to the
+// paper's bounds, checking the split logic is size-independent.
+func TestOracleLargeUnits(t *testing.T) {
+	for _, unit := range []int64{256, 2048, 4096} {
+		for seed := uint64(300); seed < 310; seed++ {
+			tr := NewTree(seed)
+			if err := tr.CheckGPU(DriverD2D, gpuOpts(unit), oracleFrags); err != nil {
+				t.Errorf("unit %d: %v", unit, err)
+			}
+		}
+	}
+}
+
+// TestChannelRoundTrips sends suitable trees over every MPI channel
+// configuration: smcuda (same GPU via IPC, two GPUs via P2P) and openib
+// (two nodes), eager and rendezvous regimes, the paper's pipelined
+// strategy and the MVAPICH baseline, GPU and host data, mirrored and
+// contiguous receive layouts, staged and direct remote unpack.
+func TestChannelRoundTrips(t *testing.T) {
+	want := 12
+	if testing.Short() {
+		want = 4
+	}
+	var trees []*Tree
+	for seed := uint64(1000); len(trees) < want && seed < 1400; seed++ {
+		tr := NewTree(seed)
+		if tr.Total() < 16 || tr.Total() > 192<<10 || HasOverlap(tr.Map) {
+			continue
+		}
+		trees = append(trees, tr)
+	}
+	if len(trees) < want {
+		t.Fatalf("only %d suitable trees found", len(trees))
+	}
+
+	configs := []RTConfig{
+		{Topo: "1gpu"},
+		{Topo: "1gpu", ForceEager: true},
+		{Topo: "2gpu"},
+		{Topo: "2gpu", FragBytes: 32 << 10},
+		{Topo: "2gpu", RecvContig: true},
+		{Topo: "2gpu", MVAPICH: true},
+		{Topo: "2gpu", ForceEager: true},
+		{Topo: "2gpu", OnHost: true},
+		{Topo: "2gpu", DirectRemoteUnpack: true},
+		{Topo: "ib"},
+		{Topo: "ib", FragBytes: 64 << 10},
+		{Topo: "ib", MVAPICH: true},
+		{Topo: "ib", RecvContig: true},
+		{Topo: "ib", ForceEager: true, OnHost: true},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			for _, tr := range trees {
+				if err := RoundTrip(tr, cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTrees gates datatype flattening, DEV splitting and baseline
+// vectorization on recorded layout fingerprints: packed byte counts,
+// block/segment/unit decomposition counts and a content hash per seed.
+// Drift fails until explained and re-recorded with
+//
+//	go test ./internal/conformance -run TestGoldenTrees -update
+func TestGoldenTrees(t *testing.T) {
+	seeds := make([]uint64, 32)
+	for i := range seeds {
+		seeds[i] = uint64(1 + i*7)
+	}
+	path := filepath.Join("testdata", "golden", "trees.json")
+	if err := CheckTrees(path, seeds, *update); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReferenceWalkerSelfChecks pins the walker's own semantics on
+// hand-computed cases, so a bug can't hide in both the walker and the
+// engine at once.
+func TestReferenceWalkerSelfChecks(t *testing.T) {
+	// vector(3 blocks of 2 int32, stride 4 elements): blocks at element
+	// offsets 0, 4, 8.
+	sp := vectorSpec{count: 3, blocklen: 2, strideElems: 4, base: primSpec{which: 2}}
+	m := ReferenceMap(sp, 1)
+	if len(m) != 24 {
+		t.Fatalf("map has %d entries, want 24", len(m))
+	}
+	wantStarts := []int64{0, 16, 32}
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 8; i++ {
+			if got := m[b*8+i]; got != wantStarts[b]+int64(i) {
+				t.Fatalf("packed byte %d maps to %d, want %d", b*8+i, got, wantStarts[b]+int64(i))
+			}
+		}
+	}
+	if sp.Size() != 24 {
+		t.Errorf("size %d, want 24", sp.Size())
+	}
+	if extentOf(sp) != (2*4+2)*4 {
+		t.Errorf("extent %d, want %d", extentOf(sp), (2*4+2)*4)
+	}
+
+	// struct{int32 at 0, 2 float64 at 8}: packed order int32 then doubles.
+	st := structSpec{
+		blocklens: []int{1, 2},
+		displs:    []int64{0, 8},
+		types:     []Spec{primSpec{which: 2}, primSpec{which: 5}},
+	}
+	m2 := ReferenceMap(st, 1)
+	want := []int64{0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23}
+	if len(m2) != len(want) {
+		t.Fatalf("struct map %d entries, want %d", len(m2), len(want))
+	}
+	for i := range want {
+		if m2[i] != want[i] {
+			t.Fatalf("struct packed byte %d maps to %d, want %d", i, m2[i], want[i])
+		}
+	}
+
+	// Overlap detection: resized with extent 4 under count 2 re-reads
+	// the first bytes.
+	rs := resizedSpec{base: primSpec{which: 5}, lb: 0, extent: 4}
+	if !HasOverlap(ReferenceMap(rs, 2)) {
+		t.Error("interleaved resized repetitions not flagged as overlapping")
+	}
+	if HasOverlap(ReferenceMap(sp, 2)) {
+		t.Error("disjoint vector flagged as overlapping")
+	}
+}

@@ -1,0 +1,19 @@
+// Package conformance is the differential conformance harness for the
+// datatype engines: it generates seeded random derived-datatype trees,
+// computes their packed-byte -> memory-offset map with an independent
+// naive reference walker, and cross-checks every packing engine in the
+// repository — the CPU converter, the GPU DEV engine (device-to-device,
+// device-to-device-to-host and zero-copy drivers), and the
+// MVAPICH-style vectorizer — for byte-identical results, including full
+// MPI round trips over the smcuda and openib channel protocols.
+//
+// The package also hosts the golden virtual-time machinery: since the
+// simulator's clock is deterministic, every figure runner's output can
+// be recorded to testdata/golden/*.json and gated against unexplained
+// drift (go test ./internal/bench -update regenerates after an
+// intentional performance change).
+//
+// Two native fuzz targets (FuzzPackUnpack, FuzzDEVSplit) extend the
+// seeded sweep with coverage-guided exploration of the tree space; the
+// checked-in corpus under testdata/fuzz seeds them.
+package conformance

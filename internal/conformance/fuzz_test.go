@@ -1,0 +1,77 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// fuzzTree builds a conformance case from fuzzer-chosen inputs under
+// tighter bounds than the seeded sweep, so each execution stays cheap
+// while the fuzzer explores the generator's space.
+func fuzzTree(seed uint64, countSel uint16) *Tree {
+	opt := TreeOptions{MaxElems: 512, MaxSpan: 64 << 10, MaxDepth: 4}
+	sp := GenSpecOpts(seed, opt)
+	count := 1 + int(countSel%4)
+	return &Tree{
+		Seed:  seed,
+		Spec:  sp,
+		Dt:    sp.Build().Commit(),
+		Count: count,
+		Map:   ReferenceMap(sp, count),
+		Span:  Span(sp, count),
+	}
+}
+
+// fuzzFrags derives a fragment-size schedule from one fuzzer word: two
+// sizes, both at least 1 byte and at most 8 KiB, so the converter
+// windows land on arbitrary boundaries.
+func fuzzFrags(frag uint32) []int64 {
+	a := int64(frag&0x1fff) + 1
+	b := int64(frag>>13&0x1fff) + 1
+	return []int64{a, b}
+}
+
+// FuzzPackUnpack drives the CPU datatype converter differentially
+// against the naive reference walker: structure metadata, whole-message
+// pack, fragmented pack under fuzzer-chosen fragment sizes, seek-resumed
+// pack, and (for overlap-free layouts) the unpack identity.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint32(977))
+	f.Add(uint64(7), uint16(1), uint32(0))
+	f.Add(uint64(42), uint16(2), uint32(1<<13|4096))
+	f.Add(uint64(300), uint16(3), uint32(0xffffffff))
+	f.Add(uint64(123456789), uint16(0), uint32(1021))
+	f.Fuzz(func(t *testing.T, seed uint64, countSel uint16, frag uint32) {
+		tr := fuzzTree(seed, countSel)
+		if err := tr.CheckStructure(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckCPU(fuzzFrags(frag)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckMVAPICH(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDEVSplit drives the GPU DEV engine — unit splitting, descriptor
+// caching, vector fast path and generic fallback — against the
+// reference walker under fuzzer-chosen unit sizes and fragment
+// schedules.
+func FuzzDEVSplit(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(0), uint32(977))
+	f.Add(uint64(7), uint16(1), uint8(3), uint32(4096))
+	f.Add(uint64(42), uint16(2), uint8(16), uint32(1<<13|512))
+	f.Add(uint64(300), uint16(3), uint8(129), uint32(0xffffffff))
+	f.Fuzz(func(t *testing.T, seed uint64, countSel uint16, unitSel uint8, frag uint32) {
+		tr := fuzzTree(seed, countSel)
+		opts := gpuOpts(256 * (1 + int64(unitSel%16)))
+		opts.DisableVectorKernel = unitSel >= 128
+		if err := tr.CheckGPU(DriverD2D, opts, fuzzFrags(frag)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckGPU(DriverZeroCopy, opts, fuzzFrags(frag)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,10 @@
+package conformance
+
+import "gpuddt/internal/core"
+
+// gpuOpts returns engine options with the given DEV unit size and a
+// small conversion chunk so even modest trees exercise the
+// conversion/execution pipeline.
+func gpuOpts(unitSize int64) core.Options {
+	return core.Options{UnitSize: unitSize, ChunkBytes: 16 << 10}
+}

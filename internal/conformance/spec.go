@@ -1,0 +1,604 @@
+package conformance
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+)
+
+// Spec is an independent description of a derived datatype tree. It can
+// build the corresponding *datatype.Datatype through the engine's
+// constructors, but its Size/LB/UB/Walk methods reimplement the MPI
+// semantics directly from the standard's definitions, without touching
+// the engine's flattening — Walk is the "naive reference walker" of the
+// differential oracle: it visits every primitive byte run of one
+// element in packed order.
+type Spec interface {
+	// Build constructs the datatype through the engine under test.
+	Build() *datatype.Datatype
+	// Walk emits (memory byte offset, length) for each primitive of one
+	// element, in packed order, relative to the given origin.
+	Walk(origin int64, emit func(memOff, n int64))
+	// Size is the packed bytes of one element.
+	Size() int64
+	// LB and UB are the extent bounds per the MPI rules.
+	LB() int64
+	UB() int64
+	String() string
+}
+
+func extentOf(s Spec) int64 { return s.UB() - s.LB() }
+
+// ReferenceMap computes the packed-byte -> memory-offset map of
+// (spec, count) with the naive walker: entry k is the memory offset
+// (from the data origin) holding packed byte k. Consecutive elements
+// are spaced by the spec extent, as MPI requires.
+func ReferenceMap(sp Spec, count int) []int64 {
+	m := make([]int64, 0, sp.Size()*int64(count))
+	ext := extentOf(sp)
+	for r := 0; r < count; r++ {
+		sp.Walk(int64(r)*ext, func(memOff, n int64) {
+			for b := int64(0); b < n; b++ {
+				m = append(m, memOff+b)
+			}
+		})
+	}
+	return m
+}
+
+// ReferencePack packs data through the map: out[k] = data[map[k]].
+func ReferencePack(m []int64, data []byte) []byte {
+	out := make([]byte, len(m))
+	for k, off := range m {
+		out[k] = data[off]
+	}
+	return out
+}
+
+// ReferenceUnpack scatters packed into data through the map.
+func ReferenceUnpack(m []int64, data, packed []byte) {
+	for k, off := range m {
+		data[off] = packed[k]
+	}
+}
+
+// HasOverlap reports whether the map touches any memory byte more than
+// once (legal for packing, undefined for unpacking).
+func HasOverlap(m []int64) bool {
+	seen := make(map[int64]bool, len(m))
+	for _, off := range m {
+		if seen[off] {
+			return true
+		}
+		seen[off] = true
+	}
+	return false
+}
+
+// Span returns the number of data bytes a buffer must hold for
+// (spec, count): one past the highest memory offset any repetition
+// touches. Zero-size layouts span zero bytes.
+func Span(sp Spec, count int) int64 {
+	var max int64
+	ext := extentOf(sp)
+	found := false
+	sp.Walk(0, func(memOff, n int64) {
+		if e := memOff + n; e > max {
+			max = e
+		}
+		found = true
+	})
+	if !found {
+		return 0
+	}
+	if count > 1 {
+		max += int64(count-1) * ext
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------
+// Primitive
+
+type primSpec struct{ which int }
+
+var prims = []struct {
+	name string
+	size int64
+	dt   *datatype.Datatype
+}{
+	{"byte", 1, datatype.Byte},
+	{"char", 1, datatype.Char},
+	{"int32", 4, datatype.Int32},
+	{"int64", 8, datatype.Int64},
+	{"float32", 4, datatype.Float32},
+	{"float64", 8, datatype.Float64},
+}
+
+func (s primSpec) Build() *datatype.Datatype { return prims[s.which].dt }
+func (s primSpec) Size() int64               { return prims[s.which].size }
+func (s primSpec) LB() int64                 { return 0 }
+func (s primSpec) UB() int64                 { return prims[s.which].size }
+func (s primSpec) String() string            { return prims[s.which].name }
+
+func (s primSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	emit(origin, prims[s.which].size)
+}
+
+// ---------------------------------------------------------------------
+// Contiguous
+
+type contigSpec struct {
+	count int
+	base  Spec
+}
+
+func (s contigSpec) Build() *datatype.Datatype {
+	return datatype.Contiguous(s.count, s.base.Build())
+}
+func (s contigSpec) Size() int64 { return int64(s.count) * s.base.Size() }
+func (s contigSpec) LB() int64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.base.LB()
+}
+func (s contigSpec) UB() int64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.base.LB() + int64(s.count)*extentOf(s.base)
+}
+func (s contigSpec) String() string { return fmt.Sprintf("contig(%d,%s)", s.count, s.base) }
+
+func (s contigSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	ext := extentOf(s.base)
+	for i := 0; i < s.count; i++ {
+		s.base.Walk(origin+int64(i)*ext, emit)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Vector / Hvector
+
+// vectorSpec covers both MPI_Type_vector (strideB = strideElems *
+// base extent) and MPI_Type_create_hvector (byte stride); byStride
+// records which constructor to exercise.
+type vectorSpec struct {
+	count, blocklen int
+	strideElems     int   // used when !byBytes
+	strideB         int64 // used when byBytes
+	byBytes         bool
+	base            Spec
+}
+
+func (s vectorSpec) strideBytes() int64 {
+	if s.byBytes {
+		return s.strideB
+	}
+	return int64(s.strideElems) * extentOf(s.base)
+}
+
+func (s vectorSpec) Build() *datatype.Datatype {
+	if s.byBytes {
+		return datatype.Hvector(s.count, s.blocklen, s.strideB, s.base.Build())
+	}
+	return datatype.Vector(s.count, s.blocklen, s.strideElems, s.base.Build())
+}
+func (s vectorSpec) Size() int64 { return int64(s.count) * int64(s.blocklen) * s.base.Size() }
+
+func (s vectorSpec) bounds() (lb, ub int64) {
+	span := int64(s.blocklen) * extentOf(s.base)
+	for i := 0; i < s.count; i++ {
+		st := int64(i)*s.strideBytes() + s.base.LB()
+		en := st + span
+		if i == 0 || st < lb {
+			lb = st
+		}
+		if i == 0 || en > ub {
+			ub = en
+		}
+	}
+	return lb, ub
+}
+func (s vectorSpec) LB() int64 { lb, _ := s.bounds(); return lb }
+func (s vectorSpec) UB() int64 { _, ub := s.bounds(); return ub }
+func (s vectorSpec) String() string {
+	if s.byBytes {
+		return fmt.Sprintf("hvector(%d,%d,%dB,%s)", s.count, s.blocklen, s.strideB, s.base)
+	}
+	return fmt.Sprintf("vector(%d,%d,%d,%s)", s.count, s.blocklen, s.strideElems, s.base)
+}
+
+func (s vectorSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	ext := extentOf(s.base)
+	for i := 0; i < s.count; i++ {
+		blockOrigin := origin + int64(i)*s.strideBytes()
+		for j := 0; j < s.blocklen; j++ {
+			s.base.Walk(blockOrigin+int64(j)*ext, emit)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Indexed family
+
+// indexedSpec covers MPI_Type_indexed (element displacements),
+// MPI_Type_create_hindexed (byte displacements) and
+// MPI_Type_create_indexed_block (uniform block length).
+type indexedSpec struct {
+	blocklens []int
+	displs    []int64 // bytes when byBytes, else elements
+	byBytes   bool
+	uniform   bool // build through IndexedBlock (blocklens all equal)
+	base      Spec
+}
+
+func (s indexedSpec) displBytes(i int) int64 {
+	if s.byBytes {
+		return s.displs[i]
+	}
+	return s.displs[i] * extentOf(s.base)
+}
+
+func (s indexedSpec) Build() *datatype.Datatype {
+	base := s.base.Build()
+	if s.byBytes {
+		return datatype.Hindexed(s.blocklens, s.displs, base)
+	}
+	di := make([]int, len(s.displs))
+	for i, d := range s.displs {
+		di[i] = int(d)
+	}
+	if s.uniform {
+		bl := 0
+		if len(s.blocklens) > 0 {
+			bl = s.blocklens[0]
+		}
+		return datatype.IndexedBlock(bl, di, base)
+	}
+	return datatype.Indexed(s.blocklens, di, base)
+}
+
+func (s indexedSpec) Size() int64 {
+	var total int64
+	for _, bl := range s.blocklens {
+		total += int64(bl)
+	}
+	return total * s.base.Size()
+}
+
+func (s indexedSpec) bounds() (lb, ub int64) {
+	first := true
+	for i, bl := range s.blocklens {
+		if bl == 0 {
+			continue
+		}
+		st := s.displBytes(i) + s.base.LB()
+		en := st + int64(bl)*extentOf(s.base)
+		if first || st < lb {
+			lb = st
+		}
+		if first || en > ub {
+			ub = en
+		}
+		first = false
+	}
+	return lb, ub
+}
+func (s indexedSpec) LB() int64 { lb, _ := s.bounds(); return lb }
+func (s indexedSpec) UB() int64 { _, ub := s.bounds(); return ub }
+func (s indexedSpec) String() string {
+	k := "indexed"
+	if s.byBytes {
+		k = "hindexed"
+	} else if s.uniform {
+		k = "indexedBlock"
+	}
+	return fmt.Sprintf("%s(%d blocks,%s)", k, len(s.blocklens), s.base)
+}
+
+func (s indexedSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	ext := extentOf(s.base)
+	for i, bl := range s.blocklens {
+		blockOrigin := origin + s.displBytes(i)
+		for j := 0; j < bl; j++ {
+			s.base.Walk(blockOrigin+int64(j)*ext, emit)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Struct
+
+type structSpec struct {
+	blocklens []int
+	displs    []int64
+	types     []Spec
+}
+
+func (s structSpec) Build() *datatype.Datatype {
+	types := make([]*datatype.Datatype, len(s.types))
+	for i, t := range s.types {
+		types[i] = t.Build()
+	}
+	return datatype.Struct(s.blocklens, s.displs, types)
+}
+
+func (s structSpec) Size() int64 {
+	var total int64
+	for i, bl := range s.blocklens {
+		total += int64(bl) * s.types[i].Size()
+	}
+	return total
+}
+
+func (s structSpec) bounds() (lb, ub int64) {
+	first := true
+	for i, bl := range s.blocklens {
+		if bl == 0 {
+			continue
+		}
+		st := s.displs[i] + s.types[i].LB()
+		en := st + int64(bl)*extentOf(s.types[i])
+		if first || st < lb {
+			lb = st
+		}
+		if first || en > ub {
+			ub = en
+		}
+		first = false
+	}
+	return lb, ub
+}
+func (s structSpec) LB() int64      { lb, _ := s.bounds(); return lb }
+func (s structSpec) UB() int64      { _, ub := s.bounds(); return ub }
+func (s structSpec) String() string { return fmt.Sprintf("struct(%d members)", len(s.types)) }
+
+func (s structSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	for i, bl := range s.blocklens {
+		ext := extentOf(s.types[i])
+		for j := 0; j < bl; j++ {
+			s.types[i].Walk(origin+s.displs[i]+int64(j)*ext, emit)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Subarray
+
+type subarraySpec struct {
+	sizes, subsizes, starts []int
+	order                   datatype.Order
+	base                    Spec
+}
+
+func (s subarraySpec) Build() *datatype.Datatype {
+	return datatype.Subarray(s.sizes, s.subsizes, s.starts, s.order, s.base.Build())
+}
+
+func (s subarraySpec) Size() int64 {
+	sub := int64(1)
+	for _, v := range s.subsizes {
+		sub *= int64(v)
+	}
+	return sub * s.base.Size()
+}
+func (s subarraySpec) LB() int64 { return 0 }
+func (s subarraySpec) UB() int64 {
+	total := int64(1)
+	for _, v := range s.sizes {
+		total *= int64(v)
+	}
+	return total * extentOf(s.base)
+}
+func (s subarraySpec) String() string {
+	return fmt.Sprintf("subarray(%v of %v,%s)", s.subsizes, s.sizes, s.base)
+}
+
+// elemStrides returns per-dimension element strides of the full array
+// under the storage order: the linear index of coordinate c is
+// sum_d c[d]*stride[d].
+func elemStrides(sizes []int, order datatype.Order) []int64 {
+	n := len(sizes)
+	strides := make([]int64, n)
+	st := int64(1)
+	if order == datatype.OrderC {
+		for d := n - 1; d >= 0; d-- {
+			strides[d] = st
+			st *= int64(sizes[d])
+		}
+	} else {
+		for d := 0; d < n; d++ {
+			strides[d] = st
+			st *= int64(sizes[d])
+		}
+	}
+	return strides
+}
+
+func (s subarraySpec) Walk(origin int64, emit func(memOff, n int64)) {
+	n := len(s.sizes)
+	strides := elemStrides(s.sizes, s.order)
+	ext := extentOf(s.base)
+	// Iterate sub-block coordinates with the fastest-varying storage
+	// dimension innermost so the emission order matches packed order.
+	dims := make([]int, n) // slowest .. fastest
+	for i := range dims {
+		if s.order == datatype.OrderC {
+			dims[i] = i
+		} else {
+			dims[i] = n - 1 - i
+		}
+	}
+	idx := make([]int, n)
+	var rec func(level int)
+	rec = func(level int) {
+		if level == n {
+			var linear int64
+			for d := 0; d < n; d++ {
+				linear += int64(s.starts[d]+idx[d]) * strides[d]
+			}
+			s.base.Walk(origin+linear*ext, emit)
+			return
+		}
+		d := dims[level]
+		for idx[d] = 0; idx[d] < s.subsizes[d]; idx[d]++ {
+			rec(level + 1)
+		}
+		idx[d] = 0
+	}
+	for _, v := range s.subsizes {
+		if v == 0 {
+			return
+		}
+	}
+	rec(0)
+}
+
+// ---------------------------------------------------------------------
+// Resized
+
+type resizedSpec struct {
+	base       Spec
+	lb, extent int64
+}
+
+func (s resizedSpec) Build() *datatype.Datatype {
+	return datatype.Resized(s.base.Build(), s.lb, s.extent)
+}
+func (s resizedSpec) Size() int64 { return s.base.Size() }
+func (s resizedSpec) LB() int64   { return s.lb }
+func (s resizedSpec) UB() int64   { return s.lb + s.extent }
+func (s resizedSpec) String() string {
+	return fmt.Sprintf("resized(%s,lb=%d,extent=%d)", s.base, s.lb, s.extent)
+}
+
+func (s resizedSpec) Walk(origin int64, emit func(memOff, n int64)) {
+	s.base.Walk(origin, emit)
+}
+
+// ---------------------------------------------------------------------
+// Darray
+
+type darraySpec struct {
+	size, rank int
+	gsizes     []int
+	distribs   []datatype.Distrib
+	dargs      []int
+	psizes     []int
+	order      datatype.Order
+	base       Spec
+}
+
+func (s darraySpec) Build() *datatype.Datatype {
+	return datatype.Darray(s.size, s.rank, s.gsizes, s.distribs, s.dargs, s.psizes, s.order, s.base.Build())
+}
+
+// coords returns the rank's process-grid coordinates, row-major over
+// psizes (the MPI convention).
+func (s darraySpec) coords() []int {
+	n := len(s.psizes)
+	c := make([]int, n)
+	r := s.rank
+	for i := n - 1; i >= 0; i-- {
+		c[i] = r % s.psizes[i]
+		r /= s.psizes[i]
+	}
+	return c
+}
+
+// dimRuns lists the (start, len) global-index runs dimension d assigns
+// to this rank, reimplementing the MPI distribution rules.
+func (s darraySpec) dimRuns(d int) [][2]int {
+	gsize, np, p := s.gsizes[d], s.psizes[d], s.coords()[d]
+	switch s.distribs[d] {
+	case datatype.DistribNone:
+		return [][2]int{{0, gsize}}
+	case datatype.DistribBlock:
+		b := s.dargs[d]
+		if b == datatype.DargDefault {
+			b = (gsize + np - 1) / np
+		}
+		start := p * b
+		if start >= gsize {
+			return nil
+		}
+		n := b
+		if start+n > gsize {
+			n = gsize - start
+		}
+		return [][2]int{{start, n}}
+	default: // DistribCyclic
+		b := s.dargs[d]
+		if b == datatype.DargDefault {
+			b = 1
+		}
+		var runs [][2]int
+		for start := p * b; start < gsize; start += np * b {
+			n := b
+			if start+n > gsize {
+				n = gsize - start
+			}
+			runs = append(runs, [2]int{start, n})
+		}
+		return runs
+	}
+}
+
+func (s darraySpec) Size() int64 {
+	local := int64(1)
+	for d := range s.gsizes {
+		var owned int64
+		for _, rn := range s.dimRuns(d) {
+			owned += int64(rn[1])
+		}
+		local *= owned
+	}
+	return local * s.base.Size()
+}
+func (s darraySpec) LB() int64 { return 0 }
+func (s darraySpec) UB() int64 {
+	total := int64(1)
+	for _, v := range s.gsizes {
+		total *= int64(v)
+	}
+	return total * extentOf(s.base)
+}
+func (s darraySpec) String() string {
+	return fmt.Sprintf("darray(rank %d of %d, %v over %v,%s)", s.rank, s.size, s.gsizes, s.psizes, s.base)
+}
+
+func (s darraySpec) Walk(origin int64, emit func(memOff, n int64)) {
+	n := len(s.gsizes)
+	strides := elemStrides(s.gsizes, s.order)
+	ext := extentOf(s.base)
+	dims := make([]int, n)
+	for i := range dims {
+		if s.order == datatype.OrderC {
+			dims[i] = i
+		} else {
+			dims[i] = n - 1 - i
+		}
+	}
+	idxOff := make([]int64, n) // current global index per dimension
+	var rec func(level int)
+	rec = func(level int) {
+		if level == n {
+			var linear int64
+			for d := 0; d < n; d++ {
+				linear += idxOff[d] * strides[d]
+			}
+			s.base.Walk(origin+linear*ext, emit)
+			return
+		}
+		d := dims[level]
+		for _, rn := range s.dimRuns(d) {
+			for j := 0; j < rn[1]; j++ {
+				idxOff[d] = int64(rn[0] + j)
+				rec(level + 1)
+			}
+		}
+	}
+	rec(0)
+}
