@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check fuzz golden bench figures examples tools clean
+.PHONY: all test race check trace-check fuzz golden bench figures examples tools clean
 
 all: test
 
@@ -17,12 +17,21 @@ race:
 # Full CI gate: build, vet, race-enabled tests (includes the
 # differential oracle, channel round-trips, golden traces, cmd smoke
 # tests and example builds), then a short fuzz smoke on both targets.
-check:
+check: trace-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzPackUnpack -fuzztime 10s
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzDEVSplit -fuzztime 10s
+
+# Tracing gate: the span recorder under -race, conformance round-trips
+# with tracing asserted (short matrix), and the golden-identical /
+# Chrome-schema checks.
+trace-check:
+	$(GO) test -race ./internal/sim -run TestRecorder
+	$(GO) test -short ./internal/conformance -run TestChannelRoundTrips
+	$(GO) test ./internal/bench -run 'TestGoldenFiguresTraced|TestPingPongChromeTrace'
+	$(GO) test ./internal/trace
 
 # Longer fuzzing session against the differential oracle.
 fuzz:

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gpuddt/internal/bench"
+	"gpuddt/internal/trace"
 )
 
 func parseSizes(s string, errOut io.Writer) ([]int, bool) {
@@ -46,8 +47,15 @@ func Run(args []string, out, errOut io.Writer) int {
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
 	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run (chrome://tracing, Perfetto) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var traceRuns *[]trace.Run
+	if *traceOut != "" {
+		runs, stop := bench.CollectTraces()
+		traceRuns = runs
+		defer stop()
 	}
 	emit := func(f *bench.Figure) {
 		if *csv {
@@ -123,6 +131,22 @@ func Run(args []string, out, errOut io.Writer) int {
 	if !ran {
 		fmt.Fprintf(errOut, "ddtbench: unknown figure %q\n", *figure)
 		return 2
+	}
+	if traceRuns != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
+			return 1
+		}
+		werr := trace.WriteChrome(f, *traceRuns...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(errOut, "ddtbench: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(out, "trace of %d runs written to %s\n", len(*traceRuns), *traceOut)
 	}
 	return 0
 }

@@ -37,6 +37,9 @@ func Run(args []string, out, errOut io.Writer) int {
 	blocks := fs.Int("blocks", 0, "restrict pack/unpack kernels to this many CUDA blocks")
 	direct := fs.Bool("direct-unpack", false, "unpack directly from remote GPU memory (no staging)")
 	verbose := fs.Bool("verbose", false, "print a link-utilization report after the run")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	phases := fs.Bool("phases", false, "print the per-message phase attribution (pack vs wire vs unpack)")
+	timeline := fs.Bool("timeline", false, "print the plain-text span timeline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,7 +102,30 @@ func Run(args []string, out, errOut io.Writer) int {
 	if *verbose {
 		spec.Trace = errOut
 	}
+	if *phases {
+		spec.TracePhases = out
+	}
+	if *timeline {
+		spec.TraceTimeline = out
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(errOut, "pingpong: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		spec.TraceJSON = f
+	}
 	rt := bench.PingPong(spec)
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(errOut, "pingpong: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+	}
 	fmt.Fprintf(out, "topology=%s type=%s N=%d impl=%s packed=%s\n",
 		topo, *typeFlag, *n, *impl, fmtBytes(dt0.Size()))
 	fmt.Fprintf(out, "round-trip: %v   one-way: %v   bandwidth: %.2f GB/s\n",

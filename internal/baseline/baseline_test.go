@@ -183,3 +183,42 @@ func TestMVAPICHVectorCloserButStillSlower(t *testing.T) {
 	}
 	t.Logf("IB vector %dx%d: ours %v, mvapich %v (%.2fx)", n, n, ours, mv, ratio)
 }
+
+// TestMVAPICHPartialReceive ends a message mid-way through the
+// receiver's vector layout: stageIn must clamp its per-segment
+// cudaMemcpy2D scatter to the bytes that actually arrived instead of
+// overrunning the staging buffer.
+func TestMVAPICHPartialReceive(t *testing.T) {
+	const sentElems = 75_000 // 600 KB of a 1 MB receive layout
+	sendDt := datatype.Contiguous(sentElems, datatype.Float64)
+	recvDt := shapes.SubMatrix(512, 256, 512)
+	w := mpi.NewWorld(mpi.Config{
+		Ranks:    []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}},
+		Strategy: &MVAPICHStrategy{},
+	})
+	var sent, got []byte
+	w.Run(func(m *mpi.Rank) {
+		if m.Rank() == 0 {
+			b := m.Malloc(sendDt.Size())
+			mem.FillPattern(b, 77)
+			sent = append([]byte(nil), b.Bytes()...)
+			m.Send(b, sendDt, 1, 1, 0)
+		} else {
+			span := int64(512*512) * 8
+			b := m.Malloc(span)
+			mem.Fill(b, 0)
+			m.Recv(b, recvDt, 1, 0, 0)
+			c := datatype.NewConverter(recvDt, 1)
+			got = make([]byte, c.Total())
+			c.Pack(got, b.Bytes())
+		}
+	})
+	if !bytes.Equal(got[:len(sent)], sent) {
+		t.Fatal("MVAPICH partial receive corrupted the prefix")
+	}
+	for i := len(sent); i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("packed byte %d beyond the message was written", i)
+		}
+	}
+}

@@ -130,10 +130,25 @@ func (s *MVAPICHStrategy) stageIn(p *sim.Proc, op *mpi.RecvOp, src mem.Buffer) {
 	}
 	var packOff int64
 	for _, seg := range Vectorize(op.Dt, op.Count) {
-		if packOff >= src.Len() {
+		rem := src.Len() - packOff
+		if rem <= 0 {
 			break
 		}
 		n := seg.PackedLen()
+		if n > rem {
+			// A partial message ends mid-segment: scatter only the whole
+			// blocks that arrived, then the trailing fraction of a block.
+			whole := rem / seg.Len
+			if whole > 0 {
+				dst := op.Buf.Slice(seg.Off, (whole-1)*seg.Stride+seg.Len)
+				m.Ctx().Memcpy2D(p, dst, seg.Stride, src.Slice(packOff, whole*seg.Len), seg.Len, seg.Len, whole)
+			}
+			if frac := rem - whole*seg.Len; frac > 0 {
+				off := seg.Off + whole*seg.Stride
+				m.Ctx().Memcpy2D(p, op.Buf.Slice(off, frac), frac, src.Slice(packOff+whole*seg.Len, frac), frac, frac, 1)
+			}
+			break
+		}
 		dst := op.Buf.Slice(seg.Off, (seg.Count-1)*seg.Stride+seg.Len)
 		m.Ctx().Memcpy2D(p, dst, seg.Stride, src.Slice(packOff, n), seg.Len, seg.Len, seg.Count)
 		packOff += n

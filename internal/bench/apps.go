@@ -28,6 +28,7 @@ func AppHalo(n, iters int, strategy mpi.Strategy) sim.Time {
 		Strategy: strategy,
 		Proto:    mpi.ProtoOptions{EagerLimit: 1}, // force the DDT protocols even for one column
 	})
+	attachTrace(w.Engine(), "app:halo")
 	pitch := int64(n+2) * 8
 	col := shapes.HaloColumn(n)
 	row := datatype.Contiguous(n, datatype.Float64)
@@ -72,6 +73,7 @@ func AppParticles(nParticles, recordElems, iters int, strategy mpi.Strategy) sim
 		PCIe:     bigPCIe(),
 		Strategy: strategy,
 	})
+	attachTrace(w.Engine(), "app:particles")
 	var per sim.Time
 	w.Run(func(m *mpi.Rank) {
 		buf := m.Malloc(int64(nParticles*recordElems) * 8)
@@ -104,6 +106,7 @@ func AppScaLAPACK(n, nb int, strategy mpi.Strategy) sim.Time {
 		PCIe:     bigPCIe(),
 		Strategy: strategy,
 	})
+	attachTrace(w.Engine(), "app:scalapack")
 	gs := []int{n, n}
 	dist := []datatype.Distrib{datatype.DistribCyclic, datatype.DistribCyclic}
 	dargs := []int{nb, nb}
@@ -160,6 +163,7 @@ func WhatIfGPU(n int) *Figure {
 				GPU:   params,
 				PCIe:  bigPCIe(),
 			})
+			attachTrace(w.Engine(), fmt.Sprintf("whatif %s %s", topo, dt.Name()))
 			return pingPongOn(w, dt).Millis()
 		}
 		v2.Add(x, run(TwoGPU, vMat(n)))

@@ -48,6 +48,7 @@ type kernelRig struct {
 
 func newKernelRig(opts core.Options) *kernelRig {
 	e := sim.NewEngine()
+	attachRigTrace(e)
 	node := pcie.NewNode(e, 0, 1, bigGPU(), bigPCIe())
 	ctx := cuda.NewCtx(node)
 	return &kernelRig{eng: e, ctx: ctx, e: core.New(ctx, 0, opts)}

@@ -64,6 +64,22 @@ type PingPongSpec struct {
 	// Trace, if non-nil, receives a link-utilization report after the
 	// run (internal/trace).
 	Trace io.Writer
+
+	// TraceJSON, if non-nil, receives a Chrome trace-event JSON of the
+	// run (loadable in chrome://tracing or Perfetto).
+	TraceJSON io.Writer
+
+	// TraceTimeline, if non-nil, receives the plain-text timeline.
+	TraceTimeline io.Writer
+
+	// TracePhases, if non-nil, receives the per-message phase
+	// attribution (time in pack vs wire vs unpack).
+	TracePhases io.Writer
+}
+
+// traced reports whether the spec asks for a timeline of its own.
+func (sp *PingPongSpec) traced() bool {
+	return sp.TraceJSON != nil || sp.TraceTimeline != nil || sp.TracePhases != nil
 }
 
 // PingPong runs the benchmark and returns the average round-trip time.
@@ -85,6 +101,11 @@ func PingPong(sp PingPongSpec) sim.Time {
 		Engine:   sp.Engine,
 		Proto:    sp.Proto,
 	})
+	label := fmt.Sprintf("pingpong %s %s", sp.Topo, sp.Dt0.Name())
+	rec := attachTrace(w.Engine(), label)
+	if rec == nil && sp.traced() {
+		rec = sim.NewRecorder(w.Engine())
+	}
 	if sp.BlockCap > 0 || sp.BGBlocks > 0 || sp.BGDRAM > 0 {
 		nodes := 1
 		if sp.Topo == TwoNode {
@@ -134,6 +155,22 @@ func PingPong(sp PingPongSpec) sim.Time {
 	})
 	if sp.Trace != nil {
 		trace.Report(sp.Trace, w.Engine())
+	}
+	if rec != nil && sp.traced() {
+		if err := rec.Validate(); err != nil {
+			panic(err)
+		}
+		if sp.TraceJSON != nil {
+			if err := trace.WriteChrome(sp.TraceJSON, trace.Run{Name: label, Rec: rec}); err != nil {
+				panic(err)
+			}
+		}
+		if sp.TraceTimeline != nil {
+			trace.WriteTimeline(sp.TraceTimeline, rec)
+		}
+		if sp.TracePhases != nil {
+			trace.WritePhases(sp.TracePhases, rec)
+		}
 	}
 	return rt
 }

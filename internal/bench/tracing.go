@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpuddt/internal/sim"
+	"gpuddt/internal/trace"
+)
+
+// traceRuns, when non-nil, receives a timeline recorder for every
+// simulation the figure runners build (see CollectTraces).
+var traceRuns *[]trace.Run
+
+// rigSeq numbers kernel rigs for trace labels.
+var rigSeq int
+
+// CollectTraces turns on timeline recording for every subsequently built
+// benchmark world or kernel rig, so a whole figure sweep can be exported
+// as one Chrome trace (one process per run). It returns the accumulating
+// run list and a stop function; call stop before reading the runs.
+// Recording is pure bookkeeping and does not change virtual time, so
+// figure outputs are identical with collection on or off.
+func CollectTraces() (runs *[]trace.Run, stop func()) {
+	rs := &[]trace.Run{}
+	traceRuns = rs
+	return rs, func() { traceRuns = nil }
+}
+
+// attachTrace attaches a recorder to eng when collection is enabled.
+func attachTrace(eng *sim.Engine, label string) *sim.Recorder {
+	if traceRuns == nil {
+		return nil
+	}
+	rec := sim.NewRecorder(eng)
+	*traceRuns = append(*traceRuns, trace.Run{Name: label, Rec: rec})
+	return rec
+}
+
+// attachRigTrace labels a kernel rig's engine with a sequence number.
+func attachRigTrace(eng *sim.Engine) {
+	attachTrace(eng, fmt.Sprintf("rig%d", rigSeq))
+	rigSeq++
+}

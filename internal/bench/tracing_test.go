@@ -1,0 +1,129 @@
+package bench_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"gpuddt/internal/bench"
+	"gpuddt/internal/conformance"
+	"gpuddt/internal/shapes"
+)
+
+// TestGoldenFiguresTraced re-runs a representative slice of the golden
+// figure cases with trace collection enabled and checks the results
+// against the same goldens (never updating them). Recording must be
+// pure bookkeeping: any drift here means the recorder perturbed virtual
+// time. Every collected recorder must also validate (all spans ended,
+// properly nested).
+func TestGoldenFiguresTraced(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() *bench.Figure
+	}{
+		{"fig6", func() *bench.Figure { return bench.Fig6([]int{512}) }},
+		{"fig9", func() *bench.Figure { return bench.Fig9([]int{512, 1024}) }},
+		{"fig10b", func() *bench.Figure { return bench.Fig10(bench.TwoGPU, []int{512, 1024}) }},
+		{"fig10c", func() *bench.Figure { return bench.Fig10(bench.TwoNode, []int{512, 1024}) }},
+		{"a3", func() *bench.Figure { return bench.AblationRemoteUnpack([]int{512}) }},
+	}
+	runs, stop := bench.CollectTraces()
+	defer stop()
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", c.name+".json")
+			if err := conformance.CheckFigure(path, c.run(), false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	stop()
+	if len(*runs) == 0 {
+		t.Fatal("no runs collected")
+	}
+	for _, run := range *runs {
+		if err := run.Rec.Validate(); err != nil {
+			t.Errorf("run %q: %v", run.Name, err)
+		}
+		if run.Rec.SpanCount() == 0 {
+			t.Errorf("run %q recorded no spans", run.Name)
+		}
+	}
+}
+
+// TestPingPongChromeTrace runs a traced ping-pong and schema-checks the
+// emitted Chrome trace-event JSON: top-level traceEvents array, every
+// event one of the phases we emit, complete events with non-negative
+// timestamps and durations, and the expected metadata.
+func TestPingPongChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	bench.PingPong(bench.PingPongSpec{
+		Topo:      bench.TwoGPU,
+		Dt0:       shapes.LowerTriangular(512),
+		Count:     1,
+		Iters:     1,
+		TraceJSON: &buf,
+	})
+
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int                    `json:"pid"`
+			Tid  int                    `json:"tid"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	var complete, meta int
+	names := map[string]bool{}
+	for i, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Name == "" {
+				t.Errorf("event %d: complete event without a name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %d (%s): negative ts/dur %v/%v", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			names[ev.Name] = true
+		case "M":
+			meta++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+			if ev.Args["name"] == nil {
+				t.Errorf("event %d: metadata without args.name", i)
+			}
+		case "C":
+			if ev.Args["value"] == nil {
+				t.Errorf("event %d: counter %q without args.value", i, ev.Name)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if complete == 0 || meta == 0 {
+		t.Fatalf("want complete and metadata events, got X=%d M=%d", complete, meta)
+	}
+	// The protocol-level spans the tentpole promises must be present.
+	for _, want := range []string{"mpi.recv", "mpi.rts", "frag.pack", "xfer"} {
+		if !names[want] {
+			t.Errorf("trace missing expected span %q (have %v)", want, names)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/mpi"
+	"gpuddt/internal/sim"
 )
 
 // RTConfig selects one end-to-end round-trip configuration: the channel
@@ -41,6 +42,12 @@ type RTConfig struct {
 	// FragBytes overrides the pipeline fragment size (0 = default);
 	// small values force many fragments through the ring.
 	FragBytes int64
+
+	// Traced attaches a span recorder to the run and asserts the
+	// timeline is well-formed: every span ended in nesting order with a
+	// non-negative duration, and the top-level receive spans account for
+	// exactly the oracle's packed byte count.
+	Traced bool
 }
 
 func (c RTConfig) String() string {
@@ -60,7 +67,11 @@ func (c RTConfig) String() string {
 	if c.RecvContig {
 		recv = "contig"
 	}
-	return fmt.Sprintf("%s/%s/%s/%s/%s", c.Topo, proto, impl, place, recv)
+	s := fmt.Sprintf("%s/%s/%s/%s/%s", c.Topo, proto, impl, place, recv)
+	if c.Traced {
+		s += "/traced"
+	}
+	return s
 }
 
 func (c RTConfig) placements() []mpi.Placement {
@@ -114,6 +125,10 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 		Proto:    proto,
 		Strategy: strategy,
 	})
+	var rec *sim.Recorder
+	if cfg.Traced {
+		rec = sim.NewRecorder(w.Engine())
+	}
 
 	srcData := pattern(tr.Span, tr.Seed)
 	want := ReferencePack(tr.Map, srcData)
@@ -147,6 +162,12 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 		}
 	})
 
+	if rec != nil {
+		if err := checkTimeline(rec, tr, cfg, total); err != nil {
+			return err
+		}
+	}
+
 	if cfg.RecvContig {
 		if i := firstDiff(want, got); i >= 0 {
 			return tr.errf("channel "+cfg.String(), "packed byte %d differs: got %#x want %#x", i, got[i], want[i])
@@ -168,6 +189,35 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 			where = "gap"
 		}
 		return tr.errf("channel "+cfg.String(), "%s byte %d differs: got %#x want %#x", where, i, got[i], wantImg[i])
+	}
+	return nil
+}
+
+// checkTimeline asserts the recorded span timeline is well-formed and
+// that its top-level receive spans account for exactly the oracle's
+// packed byte count.
+func checkTimeline(rec *sim.Recorder, tr *Tree, cfg RTConfig, total int64) error {
+	if err := rec.Validate(); err != nil {
+		return tr.errf("channel "+cfg.String(), "trace: %v", err)
+	}
+	var recvBytes int64
+	var recvSpans int
+	for _, tk := range rec.Tracks() {
+		for _, sp := range tk.Spans {
+			if sp.Duration() < 0 {
+				return tr.errf("channel "+cfg.String(), "trace: span %q has negative duration %v", sp.Name, sp.Duration())
+			}
+			if sp.Name == "mpi.recv" && sp.Depth == 0 {
+				recvSpans++
+				recvBytes += sp.Bytes
+			}
+		}
+	}
+	if recvSpans == 0 {
+		return tr.errf("channel "+cfg.String(), "trace: no top-level mpi.recv span recorded")
+	}
+	if recvBytes != total {
+		return tr.errf("channel "+cfg.String(), "trace: mpi.recv spans carry %d bytes, oracle packed %d", recvBytes, total)
 	}
 	return nil
 }

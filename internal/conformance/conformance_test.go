@@ -95,6 +95,10 @@ func TestChannelRoundTrips(t *testing.T) {
 		{Topo: "ib", MVAPICH: true},
 		{Topo: "ib", RecvContig: true},
 		{Topo: "ib", ForceEager: true, OnHost: true},
+		{Topo: "1gpu", Traced: true},
+		{Topo: "2gpu", Traced: true},
+		{Topo: "2gpu", ForceEager: true, Traced: true},
+		{Topo: "ib", Traced: true},
 	}
 	for _, cfg := range configs {
 		cfg := cfg

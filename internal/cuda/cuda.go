@@ -69,6 +69,8 @@ func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) {
 	}
 	n := src.Len()
 	sd, dd := c.deviceOf(src), c.deviceOf(dst)
+	h := p.BeginBytes("cuda.memcpy."+copyDir(sd, dd), n)
+	defer h.End()
 	ov := c.overheadFor(sd, dd)
 	switch {
 	case sd < 0 && dd < 0:
@@ -88,6 +90,22 @@ func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) {
 		c.node.P2P(sd, dd).Transfer(p, n)
 	}
 	mem.Copy(dst, src)
+}
+
+// copyDir names a copy direction for the timeline (host = -1).
+func copyDir(sd, dd int) string {
+	switch {
+	case sd < 0 && dd < 0:
+		return "h2h"
+	case sd < 0:
+		return "h2d"
+	case dd < 0:
+		return "d2h"
+	case sd == dd:
+		return "d2d"
+	default:
+		return "p2p"
+	}
 }
 
 // overheadFor returns the per-call driver overhead for a copy between
@@ -122,6 +140,8 @@ func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Buffer, dpitch int64, src mem.Buffer
 	}
 	sd, dd := c.deviceOf(src), c.deviceOf(dst)
 	n := width * height
+	h := p.BeginBytes("cuda.memcpy2d."+copyDir(sd, dd), n)
+	defer h.End()
 	switch {
 	case sd >= 0 && dd == sd:
 		d := c.node.GPU(sd)
@@ -195,8 +215,13 @@ func (c *Ctx) IpcOpenMemHandle(p *sim.Proc, h IpcHandle) mem.Buffer {
 	}
 	key := ipcKey{dev: h.Dev, addr: h.Addr}
 	if !c.ipc[key] {
+		p.Count("ipc.map.miss", 1)
+		sp := p.BeginBytes("ipc.open", h.Len)
 		p.Sleep(c.node.Params().IPCMapCost)
+		sp.End()
 		c.ipc[key] = true
+	} else {
+		p.Count("ipc.map.hit", 1)
 	}
 	return c.node.GPU(h.Dev).Mem().BufferAt(h.Addr, h.Len)
 }

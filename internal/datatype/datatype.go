@@ -566,6 +566,17 @@ func VectorViewN(d *Datatype, count int) *VectorView {
 // the same sequence of primitive types, the MPI matching rule that lets
 // a vector be received as contiguous (Fig. 11's FFT reshape).
 func SignaturesMatch(da *Datatype, countA int, db *Datatype, countB int) bool {
+	return sigCompare(da, countA, db, countB, false)
+}
+
+// SignaturePrefix reports whether (da, countA)'s primitive sequence is a
+// prefix of (db, countB)'s: the MPI rule admitting a matched message
+// shorter than the posted receive (partial receive, MPI_Get_count).
+func SignaturePrefix(da *Datatype, countA int, db *Datatype, countB int) bool {
+	return sigCompare(da, countA, db, countB, true)
+}
+
+func sigCompare(da *Datatype, countA int, db *Datatype, countB int, prefix bool) bool {
 	type cursor struct {
 		sig  []SigRun
 		reps int64
@@ -613,7 +624,10 @@ func SignaturesMatch(da *Datatype, countA int, db *Datatype, countB int) bool {
 		if na == 0 && nb == 0 {
 			return true
 		}
-		if na == 0 || nb == 0 {
+		if na == 0 {
+			return prefix // A exhausted first: a valid partial message
+		}
+		if nb == 0 {
 			return false
 		}
 		if ra.Prim != rb.Prim {

@@ -105,7 +105,7 @@ func (d *Device) KernelTime(k *Kernel) sim.Time {
 func (d *Device) Launch(s *Stream, k *Kernel) *sim.Future {
 	raw := d.rawBytes(k)
 	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
-	return s.Submit("kernel."+k.Kind.String(), func(p *sim.Proc) {
+	return s.SubmitN("kernel."+k.Kind.String(), k.Bytes(), func(p *sim.Proc) {
 		p.Sleep(d.p.KernelLaunch)
 		d.chargeDRAM(p, raw, rate)
 		k.run()
@@ -126,7 +126,7 @@ func (d *Device) LaunchZeroCopy(s *Stream, k *Kernel, link *sim.Link, wireBytes 
 	raw := d.rawBytes(k)
 	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
 	n := wireBytes
-	return s.Submit("kernel.zerocopy."+k.Kind.String(), func(p *sim.Proc) {
+	return s.SubmitN("kernel.zerocopy."+k.Kind.String(), k.Bytes(), func(p *sim.Proc) {
 		p.Sleep(d.p.KernelLaunch)
 		hold := sim.TimeForBytes(raw, rate)
 		if wire := link.OccupancyFor(n); wire > hold {

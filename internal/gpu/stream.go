@@ -18,6 +18,7 @@ type Stream struct {
 
 type streamOp struct {
 	label string
+	bytes int64
 	fn    func(p *sim.Proc)
 	done  *sim.Future
 }
@@ -33,7 +34,9 @@ func (d *Device) NewStream(name string) *Stream {
 		for {
 			op := s.q.Get(p).(*streamOp)
 			if op.fn != nil {
+				h := p.BeginBytes(op.label, op.bytes)
 				op.fn(p)
+				h.End()
 			}
 			op.done.Complete(nil)
 		}
@@ -51,7 +54,13 @@ func (s *Stream) Name() string { return s.name }
 // when fn has finished. fn runs on the stream worker process and may
 // sleep, hold resources and move bytes.
 func (s *Stream) Submit(label string, fn func(p *sim.Proc)) *sim.Future {
-	op := &streamOp{label: label, fn: fn, done: s.dev.eng.NewFuture()}
+	return s.SubmitN(label, 0, fn)
+}
+
+// SubmitN is Submit with a payload byte count attached to the operation's
+// timeline span.
+func (s *Stream) SubmitN(label string, bytes int64, fn func(p *sim.Proc)) *sim.Future {
+	op := &streamOp{label: label, bytes: bytes, fn: fn, done: s.dev.eng.NewFuture()}
 	s.q.Put(op)
 	return op.done
 }

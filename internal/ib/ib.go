@@ -104,8 +104,13 @@ func (h *HCA) Inbox() *sim.Mailbox { return h.inbox }
 func (h *HCA) Register(p *sim.Proc, b mem.Buffer) {
 	key := regKey{space: b.Space(), addr: b.Addr()}
 	if !h.regs[key] {
+		p.Count("ib.reg.miss", 1)
+		sp := p.BeginBytes("ib.register", b.Len())
 		p.Sleep(h.f.params.RegCost)
+		sp.End()
 		h.regs[key] = true
+	} else {
+		p.Count("ib.reg.hit", 1)
 	}
 }
 
@@ -122,9 +127,11 @@ func (h *HCA) pathTo(peer *HCA) *sim.Path {
 // peer's inbox after the wire time. Messages between a pair of HCAs are
 // delivered in order (the links are FIFO).
 func (h *HCA) Send(p *sim.Proc, peer *HCA, n int64, payload interface{}) {
+	sp := p.BeginBytes("ib.send", n)
 	p.Sleep(h.f.params.PerMsgOverhead)
 	h.pathTo(peer).Occupy(p, n)
 	peer.inbox.PutAfter(h.f.params.Latency, payload)
+	sp.End()
 }
 
 // Write performs an RDMA write of src (local, registered) into dst
@@ -134,9 +141,11 @@ func (h *HCA) Write(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
 	if dst.Len() != src.Len() {
 		panic("ib: RDMA write length mismatch")
 	}
+	sp := p.BeginBytes("rdma.write", src.Len())
 	p.Sleep(h.f.params.PerMsgOverhead)
 	h.pathTo(peer).Transfer(p, h.wireBytes(src))
 	mem.Copy(dst, src)
+	sp.End()
 }
 
 // Read performs an RDMA read of src (remote, registered) into dst
@@ -146,9 +155,11 @@ func (h *HCA) Read(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
 	if dst.Len() != src.Len() {
 		panic("ib: RDMA read length mismatch")
 	}
+	sp := p.BeginBytes("rdma.read", src.Len())
 	p.Sleep(h.f.params.PerMsgOverhead + h.f.params.Latency)
 	peer.pathTo(h).Transfer(p, peer.wireBytes(src))
 	mem.Copy(dst, src)
+	sp.End()
 }
 
 // wireBytes inflates the transfer size when src or dst is GPU memory and

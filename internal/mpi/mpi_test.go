@@ -221,6 +221,179 @@ func TestMessageOrderingSameTag(t *testing.T) {
 	}
 }
 
+// TestPartialReceiveEager sends fewer bytes than the posted receive
+// over the eager path: MPI permits it when the sender's signature is a
+// prefix of the receiver's, and MPI_Get_count reports the true size.
+func TestPartialReceiveEager(t *testing.T) {
+	w := NewWorld(twoRanksSameGPU())
+	var got, want []byte
+	var recvd int64
+	var count int
+	w.Run(func(m *Rank) {
+		full := datatype.Contiguous(1024, datatype.Byte)
+		half := datatype.Contiguous(512, datatype.Byte)
+		if m.Rank() == 0 {
+			b := m.MallocHost(512)
+			mem.FillPattern(b, 7)
+			want = append([]byte(nil), b.Bytes()...)
+			m.Send(b, half, 1, 1, 0)
+		} else {
+			b := m.MallocHost(1024)
+			mem.Fill(b, 0xEE)
+			r := m.Irecv(b, full, 1, 0, 0)
+			r.Wait(m.Proc())
+			got = append([]byte(nil), b.Bytes()...)
+			recvd = r.ReceivedBytes()
+			count = r.GetCount(datatype.Contiguous(1, datatype.Byte))
+		}
+	})
+	if !bytes.Equal(got[:512], want) {
+		t.Fatal("partial payload mismatch")
+	}
+	for i := 512; i < 1024; i++ {
+		if got[i] != 0xEE {
+			t.Fatalf("byte %d beyond the message was written", i)
+		}
+	}
+	if recvd != 512 || count != 512 {
+		t.Fatalf("ReceivedBytes/GetCount = %d/%d, want 512/512", recvd, count)
+	}
+}
+
+// TestPartialReceiveRendezvous ends a rendezvous message mid-way through
+// a non-contiguous GPU receive layout, exercising the incremental
+// unpack paths on every topology.
+func TestPartialReceiveRendezvous(t *testing.T) {
+	const sentElems = 75_000 // 600 KB: rendezvous, ends mid-layout
+	sendDt := datatype.Contiguous(sentElems, datatype.Float64)
+	recvDt := shapes.SubMatrix(512, 256, 512) // 1 MB packed
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"1gpu", twoRanksSameGPU()},
+		{"2gpu", twoRanksTwoGPUs()},
+		{"ib", twoNodes()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(tc.cfg)
+			var sent, got []byte
+			var recvd int64
+			w.Run(func(m *Rank) {
+				if m.Rank() == 0 {
+					b := m.Malloc(sendDt.Size())
+					mem.FillPattern(b, 31)
+					sent = append([]byte(nil), b.Bytes()...)
+					m.Send(b, sendDt, 1, 1, 0)
+				} else {
+					b := m.Malloc(layoutSpan(recvDt, 1))
+					mem.Fill(b, 0)
+					r := m.Irecv(b, recvDt, 1, 0, 0)
+					r.Wait(m.Proc())
+					recvd = r.ReceivedBytes()
+					got = cpuPack(recvDt, 1, b.Bytes())
+				}
+			})
+			if recvd != sendDt.Size() {
+				t.Fatalf("ReceivedBytes = %d, want %d", recvd, sendDt.Size())
+			}
+			if !bytes.Equal(got[:len(sent)], sent) {
+				t.Fatal("partial rendezvous payload mismatch")
+			}
+			for i := len(sent); i < len(got); i++ {
+				if got[i] != 0 {
+					t.Fatalf("packed byte %d beyond the message was written", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSignatureMismatchPanics keeps the fatal path: a shorter message
+// whose primitives do not prefix the receiver's signature is an error,
+// not a partial receive.
+func TestSignatureMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no signature-mismatch panic")
+		}
+	}()
+	w := NewWorld(twoRanksSameGPU())
+	w.Run(func(m *Rank) {
+		if m.Rank() == 0 {
+			m.Send(m.MallocHost(80), datatype.Contiguous(10, datatype.Float64), 1, 1, 0)
+		} else {
+			// 100 bytes posted: not the same packed size and float64 is
+			// not a prefix of a byte sequence.
+			m.Recv(m.MallocHost(100), datatype.Contiguous(100, datatype.Byte), 1, 0, 0)
+		}
+	})
+}
+
+// TestNonOvertakingWildcards checks MPI's non-overtaking rule under
+// AnySource/AnyTag: matching must follow per-source send order even
+// when message sizes make later messages complete faster, on both the
+// unexpected-queue path (sends land first) and the posted-queue path
+// (receives posted first).
+func TestNonOvertakingWildcards(t *testing.T) {
+	const big = 256 << 10 // rendezvous
+	const small = 4 << 10 // eager
+	dtBig := datatype.Contiguous(big, datatype.Byte)
+	dtSmall := datatype.Contiguous(small, datatype.Byte)
+	for _, tc := range []struct {
+		name        string
+		recvDelayed bool // receiver posts after arrivals queue as unexpected
+	}{
+		{"unexpected-queue", true},
+		{"posted-queue", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(Config{Ranks: []Placement{{0, 0}, {0, 0}, {0, 1}}})
+			var order []byte
+			var sizes []int64
+			w.Run(func(m *Rank) {
+				switch m.Rank() {
+				case 1, 2:
+					// Each sender: a slow rendezvous message then a fast
+					// eager one, same tag.
+					a := m.MallocHost(big)
+					b := m.MallocHost(small)
+					mem.Fill(a, byte(0xA0+m.Rank()))
+					mem.Fill(b, byte(0xB0+m.Rank()))
+					m.Send(a, dtBig, 1, 0, 9)
+					m.Send(b, dtSmall, 1, 0, 9)
+				case 0:
+					if tc.recvDelayed {
+						m.Proc().Sleep(50 * sim.Millisecond)
+					}
+					for i := 0; i < 4; i++ {
+						buf := m.MallocHost(big)
+						r := m.Irecv(buf, dtBig, 1, AnySource, AnyTag)
+						r.Wait(m.Proc())
+						order = append(order, buf.Bytes()[0])
+						sizes = append(sizes, r.ReceivedBytes())
+					}
+				}
+			})
+			// Per source, the big message must match before the small one.
+			seen := map[byte]int{}
+			for i, b := range order {
+				seen[b] = i
+			}
+			for _, src := range []byte{1, 2} {
+				bigAt, bigOK := seen[0xA0+src]
+				smallAt, smallOK := seen[0xB0+src]
+				if !bigOK || !smallOK {
+					t.Fatalf("missing messages from rank %d: order %x", src, order)
+				}
+				if bigAt > smallAt {
+					t.Errorf("rank %d's messages overtook: order %x sizes %v", src, order, sizes)
+				}
+			}
+		})
+	}
+}
+
 func TestIsendIrecvOverlap(t *testing.T) {
 	w := NewWorld(twoRanksTwoGPUs())
 	dt := shapes.FullMatrix(512)

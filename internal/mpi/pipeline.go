@@ -147,6 +147,8 @@ func fragPlan(total, frag int64) []int64 {
 func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
 	op := st.op
 	m := op.M
+	h := p.BeginBytes("mpi.send.ring", op.Packed)
+	defer h.End()
 	proto := &m.w.cfg.Proto
 	frag := proto.FragBytes
 	depth := proto.PipelineDepth
@@ -169,7 +171,10 @@ func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
 	var off int64
 	for i, n := range frags {
 		slot := st.acks.Get(p).(int)
+		fh := p.BeginBytes("frag.pack", n)
 		prod.packInto(p, ring.Slice(int64(slot)*frag, n))
+		fh.End()
+		p.Count("mpi.frag", 1)
 		ev := fragEvt{slot: slot, off: off, n: n, last: i == len(frags)-1}
 		if i == 0 {
 			if onGPU {
@@ -197,6 +202,8 @@ func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
 func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
 	op := st.op
 	m := op.M
+	h := p.BeginBytes("mpi.send.direct", op.Packed)
+	defer h.End()
 	dst := cmd.dstBuf
 	if cmd.isDev {
 		dst = m.ctx.IpcOpenMemHandle(p, cmd.dst)
@@ -205,7 +212,10 @@ func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
 	frag := m.w.cfg.Proto.FragBytes
 	var off int64
 	for _, n := range fragPlan(op.Packed, frag) {
+		fh := p.BeginBytes("frag.pack", n)
 		prod.packInto(p, dst.Slice(off, n))
+		fh.End()
+		p.Count("mpi.frag", 1)
 		off += n
 	}
 	st.notifyFrag(p, cmd.events, fragEvt{off: 0, n: op.Packed, last: true})
@@ -219,6 +229,8 @@ func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
 func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
 	op := st.op
 	m := op.M
+	h := p.BeginBytes("mpi.send.ib", op.Packed)
+	defer h.End()
 	proto := &m.w.cfg.Proto
 	frag := proto.FragBytes
 	frags := fragPlan(op.Packed, frag)
@@ -249,7 +261,10 @@ func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
 	m.w.eng.Spawn(fmt.Sprintf("rank%d.ibpack", m.rank), func(pp *sim.Proc) {
 		for _, n := range frags {
 			ls := freeLocal.Get(pp).(int)
+			fh := pp.BeginBytes("frag.pack", n)
 			prod.packInto(pp, local.Slice(int64(ls)*frag, n))
+			fh.End()
+			pp.Count("mpi.frag", 1)
 			filled.Put(filledSlot{ls: ls, n: n})
 		}
 	})
@@ -341,7 +356,9 @@ func (s *PipelinedStrategy) recvPackDirect(p *sim.Proc, op *RecvOp, ri *rendInfo
 		cmd.dstBuf = w.Slice(0, op.Packed)
 	}
 	st := ri.st
+	ch := p.Begin("mpi.cts")
 	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+	ch.End()
 	for {
 		if events.Get(p).(fragEvt).last {
 			break
@@ -355,7 +372,9 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 	m := op.M
 	events := m.w.eng.NewMailbox("recv.ring")
 	st := ri.st
+	ch := p.Begin("mpi.cts")
 	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmdPackToRing{events: events}) })
+	ch.End()
 
 	fc := m.newConsumer(op)
 	var ring mem.Buffer
@@ -373,6 +392,7 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 		src := ring.Slice(int64(ev.slot)*frag, ev.n)
 		slot := ev.slot
 		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
+			pp.Count("mpi.ack", 1)
 			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
 		})
 		got += ev.n
@@ -392,7 +412,9 @@ func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	// Contiguous host receiver: RDMA straight into the user buffer.
 	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && w.Kind() == mem.Host {
 		cmd := cmdSendIB{direct: w.Slice(0, op.Packed), events: events}
+		ch := p.Begin("mpi.cts")
 		op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+		ch.End()
 		for {
 			if events.Get(p).(fragEvt).last {
 				break
@@ -410,7 +432,9 @@ func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 		ring[i] = ringBuf.Slice(int64(i)*frag, frag)
 	}
 	cmd := cmdSendIB{ring: ring, events: events}
+	ch := p.Begin("mpi.cts")
 	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+	ch.End()
 
 	fc := m.newConsumer(op)
 	var got int64
@@ -419,6 +443,7 @@ func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 		src := ring[ev.slot].Slice(0, ev.n)
 		slot := ev.slot
 		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
+			pp.Count("mpi.ack", 1)
 			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
 		})
 		got += ev.n

@@ -10,11 +10,26 @@ import (
 
 // Request tracks an outstanding Isend/Irecv.
 type Request struct {
-	done *sim.Future
+	done  *sim.Future
+	recvd int64 // packed bytes of the matched message (receives)
 }
 
 // Wait blocks the calling process until the operation completes.
 func (r *Request) Wait(p *sim.Proc) { r.done.Await(p) }
+
+// ReceivedBytes reports the packed byte count of the matched message,
+// valid once a receive request completes. A partial receive reports
+// fewer bytes than the posted capacity.
+func (r *Request) ReceivedBytes() int64 { return r.recvd }
+
+// GetCount reports how many whole elements of dt arrived, the
+// MPI_Get_count semantics.
+func (r *Request) GetCount(dt *datatype.Datatype) int {
+	if dt.Size() == 0 {
+		return 0
+	}
+	return int(r.recvd / dt.Size())
+}
 
 // Done reports (non-blocking) whether the operation has completed
 // (MPI_Test).
@@ -102,6 +117,7 @@ func (m *Rank) Isend(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int
 		m.eagerSend(op)
 		return req
 	}
+	h := m.p.BeginBytes("mpi.rts", packed)
 	info := m.w.cfg.Strategy.StartSend(op)
 	peer := m.w.ranks[dest]
 	src := m.rank
@@ -109,12 +125,15 @@ func (m *Rank) Isend(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int
 	ch.AM(m.p, amHeaderBytes, func(p *sim.Proc) {
 		peer.arrived(p, &rtsMsg{src: src, tag: tag, packed: packed, sdt: dt, scount: count, info: info})
 	})
+	h.End()
 	return req
 }
 
 // eagerSend packs the whole message into a receiver-side host bounce
 // buffer and notifies the receiver: the short/eager protocol.
 func (m *Rank) eagerSend(op *SendOp) {
+	h := m.p.BeginBytes("mpi.eager.send", op.Packed)
+	defer h.End()
 	local := m.scratch(op.Packed)
 	m.packToHost(m.p, op.Buf, op.Dt, op.Count, local.Slice(0, op.Packed))
 	peer := m.w.ranks[op.Dest]
@@ -161,17 +180,27 @@ func (m *Rank) arrived(p *sim.Proc, msg *rtsMsg) {
 	m.unexp = append(m.unexp, msg)
 }
 
-// startRecv launches delivery of a matched message.
+// startRecv launches delivery of a matched message. A message shorter
+// than the posted receive is legal when the sender's signature is a
+// prefix of the receiver's (partial receive, MPI_Get_count semantics);
+// a longer message is truncation and a non-prefix mismatch is an error,
+// both of which stay fatal.
 func (m *Rank) startRecv(op *RecvOp, msg *rtsMsg) {
 	if cap := int64(op.Count) * op.Dt.Size(); msg.packed > cap {
 		panic(fmt.Sprintf("mpi: truncation: rank %d recv capacity %d < message %d (src %d tag %d)",
 			m.rank, cap, msg.packed, msg.src, msg.tag))
 	}
-	if !datatype.SignaturesMatch(msg.sdt, msg.scount, op.Dt, op.Count) &&
-		int64(op.Count)*op.Dt.Size() != msg.packed {
+	switch {
+	case datatype.SignaturesMatch(msg.sdt, msg.scount, op.Dt, op.Count):
+	case int64(op.Count)*op.Dt.Size() == msg.packed:
+		// Same packed bytes, different element shape: the Fig. 11 reshape.
+	case datatype.SignaturePrefix(msg.sdt, msg.scount, op.Dt, op.Count):
+		// Shorter message with a signature-compatible prefix.
+	default:
 		panic(fmt.Sprintf("mpi: datatype signature mismatch: %s x%d vs %s x%d",
 			msg.sdt.Name(), msg.scount, op.Dt.Name(), op.Count))
 	}
+	op.Req.recvd = msg.packed
 	op.Packed = msg.packed
 	op.Src = msg.src
 	op.Tag = msg.tag
@@ -179,21 +208,35 @@ func (m *Rank) startRecv(op *RecvOp, msg *rtsMsg) {
 	if msg.isEager {
 		buf := msg.eager
 		m.w.eng.Spawn(fmt.Sprintf("rank%d.eagerRecv", m.rank), func(p *sim.Proc) {
+			h := p.BeginBytes("mpi.recv", op.Packed)
+			h.SetDetail("eager")
 			m.unpackFromHost(p, op.Buf, op.Dt, op.Count, buf.Slice(0, op.Packed))
 			m.freeScratch(buf)
+			h.End()
 			op.Req.done.Complete(nil)
 		})
 		return
 	}
 	info := msg.info
 	m.w.eng.Spawn(fmt.Sprintf("rank%d.recv.%d", m.rank, msg.src), func(p *sim.Proc) {
+		h := p.BeginBytes("mpi.recv", op.Packed)
+		h.SetDetail(m.w.cfg.Strategy.Name())
 		m.w.cfg.Strategy.RunRecv(p, op, info)
+		h.End()
 	})
 }
+
+// scratchPoolFloor is the least freeScratch will ever cap retained
+// bytes at, so small-message workloads still amortize allocation.
+const scratchPoolFloor = 16 << 20
 
 // scratch hands out a host bounce buffer of at least n bytes from the
 // rank's pool (eager protocol and staging). Small requests are rounded
 // up (to the eager limit, capped at 1 MiB) so the pool stays reusable.
+// Selection is best-fit with a waste bound: the smallest pooled buffer
+// that satisfies the request wins, and a buffer more than 2x the
+// request is left pooled, so a small eager message cannot consume a
+// multi-megabyte staging buffer and force its re-allocation.
 func (m *Rank) scratch(n int64) mem.Buffer {
 	floor := m.w.cfg.Proto.EagerLimit
 	if floor > 1<<20 {
@@ -202,23 +245,64 @@ func (m *Rank) scratch(n int64) mem.Buffer {
 	if n < floor {
 		n = floor
 	}
+	if n > m.scratchLargest {
+		m.scratchLargest = n
+	}
+	best := -1
 	for i, b := range m.scratchPool {
-		if b.Len() >= n {
-			m.scratchPool = append(m.scratchPool[:i], m.scratchPool[i+1:]...)
-			return b
+		if b.Len() >= n && b.Len() <= 2*n && (best < 0 || b.Len() < m.scratchPool[best].Len()) {
+			best = i
 		}
+	}
+	if best >= 0 {
+		b := m.scratchPool[best]
+		m.scratchPool = append(m.scratchPool[:best], m.scratchPool[best+1:]...)
+		m.scratchPooled -= b.Len()
+		return b
 	}
 	return m.ctx.MallocHost(n)
 }
 
+// scratchCap bounds the bytes freeScratch retains: twice the largest
+// request seen (a working set of one in-flight plus one spare), with a
+// floor for small-message workloads.
+func (m *Rank) scratchCap() int64 {
+	c := 2 * m.scratchLargest
+	if c < scratchPoolFloor {
+		c = scratchPoolFloor
+	}
+	return c
+}
+
+// freeScratch returns a buffer to the pool, evicting the largest pooled
+// buffers whenever retained bytes exceed the cap so a burst of large
+// messages cannot pin its staging memory forever.
 func (m *Rank) freeScratch(b mem.Buffer) {
 	m.scratchPool = append(m.scratchPool, b)
+	m.scratchPooled += b.Len()
+	for m.scratchPooled > m.scratchCap() && len(m.scratchPool) > 1 {
+		big := 0
+		for i, pb := range m.scratchPool {
+			if pb.Len() > m.scratchPool[big].Len() {
+				big = i
+			}
+		}
+		drop := m.scratchPool[big]
+		m.scratchPool = append(m.scratchPool[:big], m.scratchPool[big+1:]...)
+		m.scratchPooled -= drop.Len()
+		drop.Space().Free(drop)
+	}
+	if m.scratchPooled > m.scratchPeak {
+		m.scratchPeak = m.scratchPooled
+	}
 }
 
 // packToHost packs (buf, dt, count) into the host buffer dst: a
 // zero-copy GPU kernel when the data lives in device memory, or a CPU
 // pack charging the host bus otherwise.
 func (m *Rank) packToHost(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, dst mem.Buffer) {
+	h := p.BeginBytes("pack", dst.Len())
+	defer h.End()
 	if buf.Kind() == mem.Device {
 		eng := m.engs[m.ctx.Node().DeviceOf(buf.Space())]
 		eng.Pack(p, buf, dt, count, dst)
@@ -231,12 +315,21 @@ func (m *Rank) packToHost(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, co
 
 // unpackFromHost is the inverse of packToHost.
 func (m *Rank) unpackFromHost(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, src mem.Buffer) {
+	h := p.BeginBytes("unpack", src.Len())
+	defer h.End()
 	if buf.Kind() == mem.Device {
+		// Incremental unpack: src may hold fewer packed bytes than the
+		// full layout (a partial receive), which Engine.Unpack rejects.
 		eng := m.engs[m.ctx.Node().DeviceOf(buf.Space())]
-		eng.Unpack(p, buf, dt, count, src)
+		pk := eng.NewUnpacker(buf, dt, count)
+		if src.Len() > pk.Total() {
+			src = src.Slice(0, pk.Total())
+		}
+		_, fut := pk.UnpackFrom(p, src)
+		fut.Await(p)
 		return
 	}
 	c := datatype.NewConverter(dt, count)
-	m.ctx.Node().HostBus().Transfer(p, 2*c.Total())
+	m.ctx.Node().HostBus().Transfer(p, 2*src.Len())
 	c.Unpack(buf.Bytes(), src.Bytes())
 }

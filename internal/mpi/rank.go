@@ -32,8 +32,11 @@ type Rank struct {
 	seq         int64        // message sequence for diagnostics
 	posted      []*postedRecv
 	unexp       []*rtsMsg // unexpected arrivals awaiting a recv
-	scratchPool []mem.Buffer
-	ringPool    map[*mem.Space][]mem.Buffer
+	scratchPool    []mem.Buffer
+	scratchPooled  int64 // bytes currently retained in scratchPool
+	scratchPeak    int64 // high-water mark of retained bytes
+	scratchLargest int64 // largest single scratch request seen
+	ringPool       map[*mem.Space][]mem.Buffer
 
 	barrierSeq int
 	collSeq    int
@@ -77,6 +80,10 @@ func (m *Rank) ScratchHost(n int64) mem.Buffer { return m.scratch(n) }
 // FreeScratchHost returns a ScratchHost buffer to the pool.
 func (m *Rank) FreeScratchHost(b mem.Buffer) { m.freeScratch(b) }
 
+// ScratchStats reports the scratch pool's currently retained bytes and
+// the high-water mark of retained bytes over the rank's lifetime.
+func (m *Rank) ScratchStats() (pooled, peak int64) { return m.scratchPooled, m.scratchPeak }
+
 // CPUPack packs host-resident (buf, dt, count) into dst on the CPU,
 // charging the host memory bus.
 func (m *Rank) CPUPack(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, dst mem.Buffer) {
@@ -85,10 +92,16 @@ func (m *Rank) CPUPack(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count
 	c.Pack(dst.Bytes(), buf.Bytes())
 }
 
-// CPUUnpack is the inverse of CPUPack.
+// CPUUnpack is the inverse of CPUPack. src may hold fewer packed bytes
+// than the full layout (a partial receive); the bus is charged for the
+// bytes actually moved.
 func (m *Rank) CPUUnpack(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count int, src mem.Buffer) {
 	c := datatype.NewConverter(dt, count)
-	m.ctx.Node().HostBus().Transfer(p, 2*c.Total())
+	n := src.Len()
+	if t := c.Total(); n > t {
+		n = t
+	}
+	m.ctx.Node().HostBus().Transfer(p, 2*n)
 	c.Unpack(buf.Bytes(), src.Bytes())
 }
 

@@ -115,6 +115,57 @@ func TestBidirectionalSimultaneousRendezvous(t *testing.T) {
 	}
 }
 
+// TestScratchPoolBounded churns the scratch pool with mixed request
+// sizes, including bursts that would once have accumulated unboundedly,
+// and asserts best-fit reuse plus a bounded retained-bytes peak.
+func TestScratchPoolBounded(t *testing.T) {
+	w := NewWorld(twoRanksTwoGPUs())
+	w.Run(func(m *Rank) {
+		if m.Rank() != 0 {
+			return
+		}
+		const big = 32 << 20
+
+		// Best-fit: a small request after freeing a big buffer must not
+		// consume it; the next big request must reuse it.
+		bigBuf := m.ScratchHost(big)
+		m.FreeScratchHost(bigBuf)
+		small := m.ScratchHost(4 << 10)
+		if small.Len() >= big {
+			t.Errorf("small request took the %d-byte buffer (first-fit behaviour)", big)
+		}
+		reuse := m.ScratchHost(big)
+		if reuse.Space() != bigBuf.Space() || reuse.Addr() != bigBuf.Addr() {
+			t.Error("big request did not reuse the pooled big buffer")
+		}
+		m.FreeScratchHost(small)
+		m.FreeScratchHost(reuse)
+
+		// Churn: repeated bursts of concurrent mixed-size requests.
+		sizes := []int64{4 << 10, 64 << 10, 1 << 20, 8 << 20, big, 1 << 20, 64 << 10}
+		for iter := 0; iter < 40; iter++ {
+			var held []mem.Buffer
+			for _, n := range sizes {
+				held = append(held, m.ScratchHost(n))
+			}
+			for _, b := range held {
+				m.FreeScratchHost(b)
+			}
+		}
+		pooled, peak := m.ScratchStats()
+		capBytes := int64(2 * big) // cap follows the largest request
+		if peak > capBytes {
+			t.Errorf("pooled peak %d exceeds cap %d", peak, capBytes)
+		}
+		if pooled > peak {
+			t.Errorf("pooled %d exceeds recorded peak %d", pooled, peak)
+		}
+		if peak == 0 {
+			t.Error("peak never recorded")
+		}
+	})
+}
+
 // TestSelfSend exercises rank-to-self messaging.
 func TestSelfSend(t *testing.T) {
 	w := NewWorld(Config{Ranks: []Placement{{Node: 0, GPU: 0}}})

@@ -79,6 +79,8 @@ func (m *Rank) newConsumer(op *RecvOp) *fragConsumer {
 // slot, a receiver host ring slot, or a window of the sender's data) and
 // calls ack — if non-nil — as soon as src may be reused.
 func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack func(pp *sim.Proc)) {
+	h := p.BeginBytes("frag.consume", n)
+	defer h.End()
 	m := fc.m
 	switch {
 	case fc.contig.IsValid():
@@ -133,6 +135,7 @@ func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack f
 // finish waits for outstanding asynchronous unpacks and releases
 // staging resources.
 func (fc *fragConsumer) finish(p *sim.Proc) {
+	h := p.Begin("unpack.drain")
 	if fc.lastFut != nil {
 		fc.lastFut.Await(p)
 	}
@@ -141,6 +144,7 @@ func (fc *fragConsumer) finish(p *sim.Proc) {
 			f.Await(p)
 		}
 	}
+	h.End()
 	if fc.stage.IsValid() {
 		fc.m.releaseRing(fc.stage)
 	}

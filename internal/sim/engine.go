@@ -59,6 +59,7 @@ type Engine struct {
 	running bool
 	linkSeq uint64
 	links   []*Link
+	rec     *Recorder // nil unless a Recorder is attached (see span.go)
 
 	// Trace, if non-nil, receives a line for significant engine events
 	// (spawn, finish, deadlock diagnostics). Useful in tests.

@@ -87,10 +87,14 @@ func (l *Link) occupy(p *Proc, n int64) {
 		panic("sim: negative transfer size on " + l.name)
 	}
 	l.busy.Acquire(p)
+	// Begin the span only once the link is held, so spans on a link
+	// track never overlap (queueing time belongs to the caller's track).
+	h := l.span("xfer", n)
 	d := l.OccupancyFor(n)
 	p.Sleep(d)
 	l.bytesMoved += n
 	l.busyTime += d
+	h.End()
 	l.busy.Release()
 }
 
@@ -100,10 +104,21 @@ func (l *Link) occupy(p *Proc, n int64) {
 // side is slower than the wire).
 func (l *Link) HoldFor(p *Proc, n int64, d Time) {
 	l.busy.Acquire(p)
+	h := l.span("hold", n)
 	p.Sleep(d)
 	l.bytesMoved += n
 	l.busyTime += d
+	h.End()
 	l.busy.Release()
+}
+
+// span opens a recorder span on the link's own track (inert when
+// tracing is off).
+func (l *Link) span(name string, n int64) SpanHandle {
+	if l.e.rec == nil {
+		return SpanHandle{}
+	}
+	return l.e.rec.begin(l, l.name, name, n)
 }
 
 // BytesMoved returns the total bytes transferred so far.
@@ -150,10 +165,20 @@ func (pa *Path) Occupy(p *Proc, n int64) {
 			occ = o
 		}
 	}
+	var hs []SpanHandle
+	if p.e.rec != nil {
+		hs = make([]SpanHandle, len(locked))
+		for i, l := range locked {
+			hs[i] = l.span("xfer", n)
+		}
+	}
 	p.Sleep(occ)
-	for _, l := range locked {
+	for i, l := range locked {
 		l.bytesMoved += n
 		l.busyTime += occ
+		if hs != nil {
+			hs[i].End()
+		}
 		l.busy.Release()
 	}
 }

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"gpuddt/internal/sim"
+)
+
+// Run pairs a recorded timeline with a display name. Each run becomes one
+// "process" in the exported trace, so several simulations (e.g. every
+// message size of a benchmark sweep) can share a single file.
+type Run struct {
+	Name string
+	Rec  *sim.Recorder
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// consumed by chrome://tracing and Perfetto). Timestamps and durations
+// are in microseconds.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the file-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the given runs as Chrome trace-event JSON. Every
+// run is a process (pid = run index) and every recorder track a named
+// thread; spans become complete ("X") events carrying byte counts and
+// details in args, and counters become a final counter ("C") sample.
+// Output is deterministic for a deterministic simulation.
+func WriteChrome(w io.Writer, runs ...Run) error {
+	var evs []chromeEvent
+	for pid, run := range runs {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]interface{}{"name": run.Name},
+		})
+		for _, t := range run.Rec.Tracks() {
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: t.ID,
+				Args: map[string]interface{}{"name": t.Name},
+			})
+			for i := range t.Spans {
+				sp := &t.Spans[i]
+				var args map[string]interface{}
+				if sp.Bytes > 0 || sp.Detail != "" {
+					args = make(map[string]interface{}, 2)
+					if sp.Bytes > 0 {
+						args["bytes"] = sp.Bytes
+					}
+					if sp.Detail != "" {
+						args["detail"] = sp.Detail
+					}
+				}
+				evs = append(evs, chromeEvent{
+					Name: sp.Name, Ph: "X", Pid: pid, Tid: t.ID,
+					Ts: sp.Begin.Micros(), Dur: sp.Duration().Micros(),
+					Args: args,
+				})
+			}
+		}
+		for _, name := range run.Rec.CounterNames() {
+			evs = append(evs, chromeEvent{
+				Name: name, Ph: "C", Pid: pid,
+				Ts:   run.Rec.Now().Micros(),
+				Args: map[string]interface{}{"value": run.Rec.Counter(name)},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpuddt/internal/sim"
+)
+
+// record builds a small two-track timeline shaped like one pipelined
+// message: an mpi.recv window overlapping pack, wire and unpack spans.
+func record(t *testing.T) *sim.Recorder {
+	t.Helper()
+	e := sim.NewEngine()
+	r := sim.NewRecorder(e)
+	l := e.NewLink("wire0", 1, 0)
+	e.Spawn("recv", func(p *sim.Proc) {
+		h := p.BeginBytes("mpi.recv", 1000)
+		h.SetDetail("pipelined")
+		p.Sleep(10 * sim.Nanosecond)
+		u := p.BeginBytes("frag.consume", 1000)
+		p.Sleep(20 * sim.Nanosecond)
+		u.End()
+		h.End()
+		p.Count("mpi.ack", 1)
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		h := p.BeginBytes("frag.pack", 1000)
+		p.Sleep(8 * sim.Nanosecond)
+		h.End()
+		l.Transfer(p, 12)
+	})
+	e.Run()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return r
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := record(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, Run{Name: "test", Rec: r}); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	var xs, ms, cs int
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xs++
+			if ev["name"] == "" || ev["ts"] == nil {
+				t.Errorf("bad X event: %v", ev)
+			}
+		case "M":
+			ms++
+		case "C":
+			cs++
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if xs != r.SpanCount() {
+		t.Errorf("X events = %d, want %d", xs, r.SpanCount())
+	}
+	if ms == 0 || cs == 0 {
+		t.Errorf("want metadata and counter events, got M=%d C=%d", ms, cs)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := record(t)
+	var buf bytes.Buffer
+	WriteTimeline(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"recv:", "send:", "wire0:", "mpi.recv", "frag.pack", "mpi.ack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhasesAndTransfers(t *testing.T) {
+	r := record(t)
+	stats := Phases(r)
+	byName := map[string]PhaseStat{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	if st := byName["frag.consume"]; st.Count != 1 || st.Total != 20*sim.Nanosecond {
+		t.Errorf("frag.consume stat = %+v", st)
+	}
+
+	trs := Transfers(r)
+	if len(trs) != 1 {
+		t.Fatalf("Transfers = %d, want 1", len(trs))
+	}
+	tr := trs[0]
+	if tr.Bytes != 1000 || tr.Label != "pipelined" {
+		t.Errorf("transfer = %+v", tr)
+	}
+	if tr.Unpack != 20*sim.Nanosecond {
+		t.Errorf("unpack = %v, want 20ns", tr.Unpack)
+	}
+	// The sender's pack span overlaps the first 8ns of the window.
+	if tr.Pack != 8*sim.Nanosecond {
+		t.Errorf("pack = %v, want 8ns", tr.Pack)
+	}
+	if tr.Wire != 12*sim.Nanosecond {
+		t.Errorf("wire = %v, want 12ns", tr.Wire)
+	}
+	if tr.Idle < 0 || tr.Idle > tr.Duration() {
+		t.Errorf("idle = %v out of range (duration %v)", tr.Idle, tr.Duration())
+	}
+
+	var buf bytes.Buffer
+	WritePhases(&buf, r)
+	if !strings.Contains(buf.String(), "phase attribution") {
+		t.Errorf("WritePhases output missing header:\n%s", buf.String())
+	}
+}
+
+func TestCoverageMergesOverlaps(t *testing.T) {
+	iv := [][2]sim.Time{{0, 10}, {5, 15}, {20, 30}, {22, 25}}
+	if got := coverage(iv); got != 25 {
+		t.Fatalf("coverage = %v, want 25", got)
+	}
+	if got := coverage(nil); got != 0 {
+		t.Fatalf("coverage(nil) = %v, want 0", got)
+	}
+}

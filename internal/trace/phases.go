@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gpuddt/internal/sim"
+)
+
+// PhaseStat aggregates every span of one name across all tracks.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Bytes int64
+	Total sim.Time
+}
+
+// Phases aggregates the recorded spans by name, sorted by descending
+// total time (ties by name).
+func Phases(r *sim.Recorder) []PhaseStat {
+	agg := make(map[string]*PhaseStat)
+	var order []string
+	for _, t := range r.Tracks() {
+		for i := range t.Spans {
+			sp := &t.Spans[i]
+			st, ok := agg[sp.Name]
+			if !ok {
+				st = &PhaseStat{Name: sp.Name}
+				agg[sp.Name] = st
+				order = append(order, sp.Name)
+			}
+			st.Count++
+			st.Bytes += sp.Bytes
+			st.Total += sp.Duration()
+		}
+	}
+	out := make([]PhaseStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Transfer is the phase attribution of one received message: how much of
+// its lifetime overlapped pack activity, wire occupancy, and unpack
+// activity anywhere in the simulation. In a pipelined protocol the three
+// overlap each other by design, so they need not sum to the duration;
+// Idle is the portion covered by none of them.
+type Transfer struct {
+	Label      string // strategy or "eager"
+	Bytes      int64
+	Start, End sim.Time
+	Pack       sim.Time
+	Wire       sim.Time
+	Unpack     sim.Time
+	Idle       sim.Time
+}
+
+// Duration returns the message lifetime (match to delivery).
+func (t *Transfer) Duration() sim.Time { return t.End - t.Start }
+
+// phaseOf classifies a span into a pipeline phase, or "" for spans that
+// either belong to no phase or would double-count one (e.g. "ib.send"
+// wraps the link's own "xfer" occupancy; the host bus is charged inside
+// CPU pack/unpack spans).
+func phaseOf(trackName, spanName string) string {
+	switch spanName {
+	case "pack", "frag.pack":
+		return "pack"
+	case "unpack", "frag.consume", "unpack.drain":
+		return "unpack"
+	// The MVAPICH baseline realizes pack/unpack as staging memcpy2Ds:
+	// device->host gathers to wire format, host->device scatters from it.
+	case "cuda.memcpy2d.d2h":
+		return "pack"
+	case "cuda.memcpy2d.h2d":
+		return "unpack"
+	case "xfer", "hold":
+		if strings.Contains(trackName, "hostbus") {
+			return ""
+		}
+		return "wire"
+	}
+	return ""
+}
+
+// Transfers computes the per-message phase attribution: one entry per
+// top-level "mpi.recv" span, in start order.
+func Transfers(r *sim.Recorder) []Transfer {
+	var out []Transfer
+	for _, t := range r.Tracks() {
+		for i := range t.Spans {
+			sp := &t.Spans[i]
+			if sp.Name == "mpi.recv" && sp.Depth == 0 {
+				out = append(out, Transfer{
+					Label: sp.Detail,
+					Bytes: sp.Bytes,
+					Start: sp.Begin,
+					End:   sp.End,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	for ti := range out {
+		tr := &out[ti]
+		// Per-phase busy intervals overlapping this message's window,
+		// merged so concurrent same-phase spans (several links, several
+		// procs) do not count twice.
+		busy := map[string][][2]sim.Time{}
+		for _, tk := range r.Tracks() {
+			for i := range tk.Spans {
+				sp := &tk.Spans[i]
+				ph := phaseOf(tk.Name, sp.Name)
+				if ph == "" {
+					continue
+				}
+				b, e := sp.Begin, sp.End
+				if b < tr.Start {
+					b = tr.Start
+				}
+				if e > tr.End {
+					e = tr.End
+				}
+				if e > b {
+					busy[ph] = append(busy[ph], [2]sim.Time{b, e})
+				}
+			}
+		}
+		tr.Pack = coverage(busy["pack"])
+		tr.Wire = coverage(busy["wire"])
+		tr.Unpack = coverage(busy["unpack"])
+		all := append(append(append([][2]sim.Time{}, busy["pack"]...), busy["wire"]...), busy["unpack"]...)
+		tr.Idle = tr.Duration() - coverage(all)
+	}
+	return out
+}
+
+// coverage returns the total time covered by the union of the intervals.
+func coverage(iv [][2]sim.Time) sim.Time {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	var total sim.Time
+	cur := iv[0]
+	for _, x := range iv[1:] {
+		if x[0] > cur[1] {
+			total += cur[1] - cur[0]
+			cur = x
+			continue
+		}
+		if x[1] > cur[1] {
+			cur[1] = x[1]
+		}
+	}
+	total += cur[1] - cur[0]
+	return total
+}
+
+// WritePhases prints the per-message phase attribution followed by the
+// aggregate per-phase table and counters.
+func WritePhases(w io.Writer, r *sim.Recorder) {
+	trs := Transfers(r)
+	if len(trs) > 0 {
+		fmt.Fprintln(w, "per-message phase attribution (phases overlap when pipelined):")
+		fmt.Fprintf(w, "  %-10s %12s %12s %12s %12s %12s %12s\n",
+			"message", "bytes", "duration", "pack", "wire", "unpack", "idle")
+		for i, tr := range trs {
+			label := tr.Label
+			if label == "" {
+				label = "msg"
+			}
+			fmt.Fprintf(w, "  %-10s %12d %12v %12v %12v %12v %12v\n",
+				fmt.Sprintf("#%d %s", i, label), tr.Bytes, tr.Duration(), tr.Pack, tr.Wire, tr.Unpack, tr.Idle)
+		}
+	}
+	fmt.Fprintln(w, "time per span name:")
+	fmt.Fprintf(w, "  %-24s %8s %14s %12s\n", "span", "count", "bytes", "total")
+	for _, st := range Phases(r) {
+		fmt.Fprintf(w, "  %-24s %8d %14d %12v\n", st.Name, st.Count, st.Bytes, st.Total)
+	}
+	if names := r.CounterNames(); len(names) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-24s %12d\n", name, r.Counter(name))
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"gpuddt/internal/sim"
+)
+
+// WriteTimeline renders the recorded timeline as indented plain text, one
+// section per track, one line per span in begin order (nesting shown by
+// indentation). It is the quick-look companion to the Chrome export.
+func WriteTimeline(w io.Writer, r *sim.Recorder) {
+	fmt.Fprintf(w, "timeline over %v of virtual time (%d spans):\n", r.Now(), r.SpanCount())
+	for _, t := range r.Tracks() {
+		if len(t.Spans) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", t.Name)
+		for i := range t.Spans {
+			sp := &t.Spans[i]
+			fmt.Fprintf(w, "  %*s%-24s %12v +%-12v", 2*sp.Depth, "", sp.Name, sp.Begin, sp.Duration())
+			if sp.Bytes > 0 {
+				fmt.Fprintf(w, " %12d B", sp.Bytes)
+			}
+			if sp.Detail != "" {
+				fmt.Fprintf(w, "  (%s)", sp.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if names := r.CounterNames(); len(names) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-24s %12d\n", name, r.Counter(name))
+		}
+	}
+}
