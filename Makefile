@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check fuzz golden bench figures examples tools clean
+.PHONY: all test race check trace-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -43,8 +43,16 @@ golden:
 	$(GO) test ./internal/bench -run TestGoldenFigures -update
 	$(GO) test ./internal/conformance -run TestGoldenTrees -update
 
+# Host-performance benchmarks: Go microbenchmarks plus the
+# machine-readable report (seek/cache-hit ns/op, serial-vs-parallel
+# sweep wall clock) consumed by CI.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchhost -out BENCH_host.json
+
+# Quick bench smoke for CI: compile and run every benchmark once.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 # Regenerate every paper figure (writes to stdout; ~3 minutes).
 figures:

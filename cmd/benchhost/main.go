@@ -1,0 +1,191 @@
+// Command benchhost measures the host-side performance of the simulator
+// itself — converter seeks, DEV-cache hits, and the parallel figure
+// driver — and emits a machine-readable BENCH_host.json. Virtual time
+// never appears here: this is the wall-clock cost of producing it.
+//
+// Usage:
+//
+//	benchhost                  # JSON to stdout
+//	benchhost -out BENCH_host.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpuddt/internal/bench"
+	"gpuddt/internal/core"
+	"gpuddt/internal/cuda"
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+// Micro is one testing.Benchmark result.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Sweep compares the reduced figure sweep serial vs parallel.
+type Sweep struct {
+	Figures     []string `json:"figures"`
+	Parallelism int      `json:"parallelism"`
+	SerialMs    float64  `json:"serial_ms"`
+	ParallelMs  float64  `json:"parallel_ms"`
+	Speedup     float64  `json:"speedup"`
+}
+
+// Report is the BENCH_host.json schema.
+type Report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	GoMaxProcs  int     `json:"go_maxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Micro       []Micro `json:"micro"`
+	Sweep       Sweep   `json:"sweep"`
+}
+
+func micro(name string, res testing.BenchmarkResult) Micro {
+	return Micro{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+	}
+}
+
+// benchSeek measures Converter.SeekTo at random positions: O(log B) via
+// the compiled plan's prefix sums (generic layouts) or O(1) canon
+// arithmetic (strided layouts).
+func benchSeek(dt *datatype.Datatype) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		conv := datatype.NewConverter(dt, 1)
+		total := conv.Total()
+		rng := rand.New(rand.NewSource(42))
+		pos := make([]int64, 1024)
+		for i := range pos {
+			pos[i] = rng.Int63n(total + 1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.SeekTo(pos[i%len(pos)])
+		}
+	})
+}
+
+// benchCacheHit measures a whole cached pack: lookup, window slicing of
+// the resident unit list, kernel unit construction and simulation.
+func benchCacheHit(n int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		se := sim.NewEngine()
+		node := pcie.NewNode(se, 0, 1, gpu.KeplerK40(), pcie.DefaultParams())
+		ctx := cuda.NewCtx(node)
+		e := core.New(ctx, 0, core.Options{})
+		dt := shapes.LowerTriangular(n)
+		data := ctx.Malloc(0, dt.TrueLB()+dt.TrueExtent())
+		dst := ctx.Malloc(0, dt.Size())
+		b.ReportAllocs()
+		se.Spawn("drive", func(p *sim.Proc) {
+			e.Pack(p, data, dt, 1, dst) // warm the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Pack(p, data, dt, 1, dst)
+			}
+			b.StopTimer()
+		})
+		se.Run()
+	})
+}
+
+// sweepOnce times the reduced figure set at the given parallelism.
+func sweepOnce(rs []bench.Runner, cfg bench.SweepConfig, par int) time.Duration {
+	bench.SetParallelism(par)
+	defer bench.SetParallelism(1)
+	t0 := time.Now()
+	bench.RunAll(rs, cfg)
+	return time.Since(t0)
+}
+
+// Run executes the command and returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchhost", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	outPath := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	par := fs.Int("parallel", 4, "parallelism for the sweep comparison")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *par < 1 {
+		fmt.Fprintf(errOut, "benchhost: -parallel must be >= 1\n")
+		return 2
+	}
+
+	rep := Report{
+		GeneratedBy: "cmd/benchhost",
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	rep.Micro = append(rep.Micro,
+		micro("converter_seek/generic_triangular_2048", benchSeek(shapes.LowerTriangular(2048))),
+		micro("converter_seek/canon_transpose_1024", benchSeek(shapes.Transpose(1024))),
+		micro("devcache_hit/triangular_1024", benchCacheHit(1024)),
+	)
+
+	ids := map[string]bool{"fig6": true, "fig9": true, "fig10b": true, "fig12": true}
+	var rs []bench.Runner
+	var names []string
+	for _, r := range bench.Runners() {
+		if ids[r.ID] {
+			rs = append(rs, r)
+			names = append(names, r.ID)
+		}
+	}
+	cfg := bench.QuickSweep()
+	serial := sweepOnce(rs, cfg, 1)
+	parallel := sweepOnce(rs, cfg, *par)
+	rep.Sweep = Sweep{
+		Figures:     names,
+		Parallelism: *par,
+		SerialMs:    float64(serial.Microseconds()) / 1e3,
+		ParallelMs:  float64(parallel.Microseconds()) / 1e3,
+		Speedup:     float64(serial) / float64(parallel),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(errOut, "benchhost: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err = out.Write(enc)
+	} else {
+		err = os.WriteFile(*outPath, enc, 0o644)
+		fmt.Fprintf(out, "host benchmark report written to %s\n", *outPath)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "benchhost: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
+}

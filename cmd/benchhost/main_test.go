@@ -1,0 +1,16 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-parallel", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("bad parallelism: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

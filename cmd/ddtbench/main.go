@@ -7,6 +7,7 @@
 //	ddtbench -figure fig10b   # one figure
 //	ddtbench -quick           # smaller sweeps (CI-friendly)
 //	ddtbench -sizes 1024,4096 # explicit matrix sizes
+//	ddtbench -parallel 4      # sweep points on up to 4 goroutines
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -48,8 +51,45 @@ func Run(args []string, out, errOut io.Writer) int {
 	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run (chrome://tracing, Perfetto) to this file")
+	parallel := fs.Int("parallel", 1, "run figure runners and sweep points on up to N goroutines (figures are identical at any setting; with -trace, run order follows completion)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(errOut, "ddtbench: -parallel must be >= 1\n")
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(errOut, "ddtbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errOut, "ddtbench: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	var traceRuns *[]trace.Run
 	if *traceOut != "" {
@@ -57,7 +97,34 @@ func Run(args []string, out, errOut io.Writer) int {
 		traceRuns = runs
 		defer stop()
 	}
-	emit := func(f *bench.Figure) {
+
+	cfg := bench.DefaultSweep()
+	if *quick {
+		cfg = bench.QuickSweep()
+	}
+	if *sizesFlag != "" {
+		sizes, ok := parseSizes(*sizesFlag, errOut)
+		if !ok {
+			return 2
+		}
+		cfg.Sizes = sizes
+		cfg.TrSizes = sizes
+	}
+
+	var selected []bench.Runner
+	for _, r := range bench.Runners() {
+		if r.Matches(*figure) {
+			selected = append(selected, r)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(errOut, "ddtbench: unknown figure %q\n", *figure)
+		return 2
+	}
+
+	bench.SetParallelism(*parallel)
+	defer bench.SetParallelism(1)
+	for _, f := range bench.RunAll(selected, cfg) {
 		if *csv {
 			f.PrintCSV(out)
 		} else {
@@ -65,73 +132,6 @@ func Run(args []string, out, errOut io.Writer) int {
 		}
 	}
 
-	sizes := bench.DefaultSizes
-	ppSizes := bench.DefaultSizes
-	trSizes := []int{512, 1024, 2048}
-	blockCounts := []int64{1024, 8192}
-	if *quick {
-		sizes = []int{1024, 2048}
-		ppSizes = []int{1024, 2048}
-		trSizes = []int{256, 512}
-		blockCounts = []int64{1024}
-	}
-	if *sizesFlag != "" {
-		var ok bool
-		sizes, ok = parseSizes(*sizesFlag, errOut)
-		if !ok {
-			return 2
-		}
-		ppSizes = sizes
-		trSizes = sizes
-	}
-
-	runners := []struct {
-		id string
-		fn func() *bench.Figure
-	}{
-		{"fig1", func() *bench.Figure { return bench.Fig1Solutions(trSizes) }},
-		{"fig6", func() *bench.Figure { return bench.Fig6(sizes) }},
-		{"fig7", func() *bench.Figure { return bench.Fig7(sizes) }},
-		{"fig8", func() *bench.Figure { return bench.Fig8(blockCounts, bench.Fig8BlockSizes) }},
-		{"fig9", func() *bench.Figure { return bench.Fig9(ppSizes) }},
-		{"fig10a", func() *bench.Figure { return bench.Fig10(bench.OneGPU, ppSizes) }},
-		{"fig10b", func() *bench.Figure { return bench.Fig10(bench.TwoGPU, ppSizes) }},
-		{"fig10c", func() *bench.Figure { return bench.Fig10(bench.TwoNode, ppSizes) }},
-		{"fig11", func() *bench.Figure { return bench.Fig11(ppSizes) }},
-		{"fig12", func() *bench.Figure { return bench.Fig12(trSizes) }},
-		{"sec5.3", func() *bench.Figure { return bench.Sec53(2048, []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 30}) }},
-		{"sec5.4", func() *bench.Figure { return bench.Sec54(2048, []float64{0, 0.25, 0.5, 0.75, 0.9}) }},
-		{"apps", func() *bench.Figure { return bench.Apps() }},
-		{"whatif-gpu", func() *bench.Figure { return bench.WhatIfGPU(4096) }},
-		{"ablations", nil}, // expanded below
-	}
-
-	ablations := []func() *bench.Figure{
-		func() *bench.Figure { return bench.AblationUnitSize(2048, []int64{256, 512, 1024, 2048, 4096}) },
-		func() *bench.Figure {
-			return bench.AblationPipeline(2048, []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20})
-		},
-		func() *bench.Figure { return bench.AblationRemoteUnpack(ppSizes) },
-	}
-
-	ran := false
-	for _, r := range runners {
-		if *figure != "all" && *figure != r.id {
-			continue
-		}
-		ran = true
-		if r.id == "ablations" {
-			for _, fn := range ablations {
-				emit(fn())
-			}
-			continue
-		}
-		emit(r.fn())
-	}
-	if !ran {
-		fmt.Fprintf(errOut, "ddtbench: unknown figure %q\n", *figure)
-		return 2
-	}
 	if traceRuns != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {

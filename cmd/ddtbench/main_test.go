@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,5 +38,82 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if code := Run([]string{"-sizes", "banana"}, &out, &errOut); code != 2 {
 		t.Errorf("bad size: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-parallel", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("bad parallelism: exit %d, want 2", code)
+	}
+}
+
+func TestRunAblationsAlias(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-quick", "-figure", "ablations", "-sizes", "512"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"ablation-unitsize", "ablation-fragsize", "ablation-remoteunpack"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-figure ablations output is missing %s", id)
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial checks the -parallel flag changes nothing
+// but wall clock: byte-identical stdout.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	args := []string{"-quick", "-figure", "fig10b", "-sizes", "512,1024", "-csv"}
+	var serial, par, errOut bytes.Buffer
+	if code := Run(args, &serial, &errOut); code != 0 {
+		t.Fatalf("serial: exit %d, stderr: %s", code, errOut.String())
+	}
+	if code := Run(append([]string{"-parallel", "4"}, args...), &par, &errOut); code != 0 {
+		t.Fatalf("parallel: exit %d, stderr: %s", code, errOut.String())
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("-parallel 4 output differs from serial\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	var out, errOut bytes.Buffer
+	code := Run([]string{
+		"-quick", "-figure", "fig9", "-sizes", "512",
+		"-cpuprofile", cpu, "-memprofile", heap,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// BenchmarkDdtbenchParallel times a reduced sweep serially and with the
+// parallel driver; compare the two sub-benchmarks to see the speedup on
+// multi-core hosts (on a single-core host they coincide).
+func BenchmarkDdtbenchParallel(b *testing.B) {
+	args := []string{"-quick", "-figure", "fig10b", "-sizes", "512,1024"}
+	for _, cfg := range []struct {
+		name string
+		pre  []string
+	}{
+		{"serial", nil},
+		{"parallel4", []string{"-parallel", "4"}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var out, errOut bytes.Buffer
+				if code := Run(append(append([]string{}, cfg.pre...), args...), &out, &errOut); code != 0 {
+					b.Fatalf("exit %d, stderr: %s", code, errOut.String())
+				}
+			}
+		})
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"gpuddt/internal/baseline"
 	"gpuddt/internal/bench"
@@ -40,8 +42,40 @@ func Run(args []string, out, errOut io.Writer) int {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	phases := fs.Bool("phases", false, "print the per-message phase attribution (pack vs wire vs unpack)")
 	timeline := fs.Bool("timeline", false, "print the plain-text span timeline")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(errOut, "pingpong: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(errOut, "pingpong: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(errOut, "pingpong: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errOut, "pingpong: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var topo bench.Topology

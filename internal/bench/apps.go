@@ -29,6 +29,7 @@ func AppHalo(n, iters int, strategy mpi.Strategy) sim.Time {
 		Proto:    mpi.ProtoOptions{EagerLimit: 1}, // force the DDT protocols even for one column
 	})
 	attachTrace(w.Engine(), "app:halo")
+	defer w.Close()
 	pitch := int64(n+2) * 8
 	col := shapes.HaloColumn(n)
 	row := datatype.Contiguous(n, datatype.Float64)
@@ -74,6 +75,7 @@ func AppParticles(nParticles, recordElems, iters int, strategy mpi.Strategy) sim
 		Strategy: strategy,
 	})
 	attachTrace(w.Engine(), "app:particles")
+	defer w.Close()
 	var per sim.Time
 	w.Run(func(m *mpi.Rank) {
 		buf := m.Malloc(int64(nParticles*recordElems) * 8)
@@ -107,6 +109,7 @@ func AppScaLAPACK(n, nb int, strategy mpi.Strategy) sim.Time {
 		Strategy: strategy,
 	})
 	attachTrace(w.Engine(), "app:scalapack")
+	defer w.Close()
 	gs := []int{n, n}
 	dist := []datatype.Distrib{datatype.DistribCyclic, datatype.DistribCyclic}
 	dargs := []int{nb, nb}
@@ -155,8 +158,9 @@ func WhatIfGPU(n int) *Figure {
 	t2 := f.NewSeries("T-2GPU")
 	v1 := f.NewSeries("V-1GPU")
 	t1 := f.NewSeries("T-1GPU")
-	for gen, params := range []gpu.Params{bigGPU(), bigPascal()} {
-		x := float64(gen + 1)
+	gens := []gpu.Params{bigGPU(), bigPascal()}
+	pts := pmap(len(gens), func(gen int) [4]float64 {
+		params := gens[gen]
 		run := func(topo Topology, dt *datatype.Datatype) float64 {
 			w := mpi.NewWorld(mpi.Config{
 				Ranks: topo.placements(),
@@ -164,12 +168,22 @@ func WhatIfGPU(n int) *Figure {
 				PCIe:  bigPCIe(),
 			})
 			attachTrace(w.Engine(), fmt.Sprintf("whatif %s %s", topo, dt.Name()))
+			defer w.Close()
 			return pingPongOn(w, dt).Millis()
 		}
-		v2.Add(x, run(TwoGPU, vMat(n)))
-		t2.Add(x, run(TwoGPU, shapes.LowerTriangular(n)))
-		v1.Add(x, run(OneGPU, vMat(n)))
-		t1.Add(x, run(OneGPU, shapes.LowerTriangular(n)))
+		return [4]float64{
+			run(TwoGPU, vMat(n)),
+			run(TwoGPU, shapes.LowerTriangular(n)),
+			run(OneGPU, vMat(n)),
+			run(OneGPU, shapes.LowerTriangular(n)),
+		}
+	})
+	for gen := range gens {
+		x := float64(gen + 1)
+		v2.Add(x, pts[gen][0])
+		t2.Add(x, pts[gen][1])
+		v1.Add(x, pts[gen][2])
+		t1.Add(x, pts[gen][3])
 	}
 	return f
 }
@@ -218,12 +232,22 @@ func Apps() *Figure {
 	}
 	ours := f.NewSeries("ours")
 	mv := f.NewSeries("MVAPICH")
-	run := func(x float64, fn func(strategy mpi.Strategy) sim.Time) {
-		ours.Add(x, fn(nil).Millis())
-		mv.Add(x, fn(&baseline.MVAPICHStrategy{}).Millis())
+	apps := []func(s mpi.Strategy) sim.Time{
+		func(s mpi.Strategy) sim.Time { return AppHalo(4096, 3, s) },
+		func(s mpi.Strategy) sim.Time { return AppParticles(1_000_000, 8, 3, s) },
+		func(s mpi.Strategy) sim.Time { return AppScaLAPACK(4096, 64, s) },
 	}
-	run(1, func(s mpi.Strategy) sim.Time { return AppHalo(4096, 3, s) })
-	run(2, func(s mpi.Strategy) sim.Time { return AppParticles(1_000_000, 8, 3, s) })
-	run(3, func(s mpi.Strategy) sim.Time { return AppScaLAPACK(4096, 64, s) })
+	vals := pmap(len(apps)*2, func(k int) float64 {
+		var s mpi.Strategy
+		if k%2 == 1 {
+			s = &baseline.MVAPICHStrategy{}
+		}
+		return apps[k/2](s).Millis()
+	})
+	for i := range apps {
+		x := float64(i + 1)
+		ours.Add(x, vals[i*2])
+		mv.Add(x, vals[i*2+1])
+	}
 	return f
 }

@@ -41,9 +41,10 @@ func bigPCIe() pcie.Params {
 
 // kernelRig is a single-process, single-GPU setup for Figs. 6-8.
 type kernelRig struct {
-	eng *sim.Engine
-	ctx *cuda.Ctx
-	e   *core.Engine
+	eng  *sim.Engine
+	ctx  *cuda.Ctx
+	e    *core.Engine
+	node *pcie.Node
 }
 
 func newKernelRig(opts core.Options) *kernelRig {
@@ -51,8 +52,12 @@ func newKernelRig(opts core.Options) *kernelRig {
 	attachRigTrace(e)
 	node := pcie.NewNode(e, 0, 1, bigGPU(), bigPCIe())
 	ctx := cuda.NewCtx(node)
-	return &kernelRig{eng: e, ctx: ctx, e: core.New(ctx, 0, opts)}
+	return &kernelRig{eng: e, ctx: ctx, e: core.New(ctx, 0, opts), node: node}
 }
+
+// close recycles the rig's memory backing into the slab pool. The rig
+// must not be used afterwards.
+func (r *kernelRig) close() { r.node.Release() }
 
 func layoutSpan(dt *datatype.Datatype, count int) int64 {
 	if count == 0 {
@@ -96,22 +101,26 @@ func Fig6(sizes []int) *Figure {
 	sV := f.NewSeries("V")
 	sStair := f.NewSeries("T-stair")
 	sC := f.NewSeries("C-cudaMemcpy")
-	for _, n := range sizes {
-		x := float64(n)
+	pts := pmap(len(sizes), func(i int) [4]float64 {
+		n := sizes[i]
+		var pt [4]float64
 		{
 			r := newKernelRig(core.Options{})
 			dt := vMat(n)
-			sV.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+			pt[0] = sim.GBps(dt.Size(), r.timePack(dt, 1))
+			r.close()
 		}
 		{
 			r := newKernelRig(core.Options{})
 			dt := shapes.LowerTriangular(n)
-			sT.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+			pt[1] = sim.GBps(dt.Size(), r.timePack(dt, 1))
+			r.close()
 		}
 		{
 			r := newKernelRig(core.Options{})
 			dt := shapes.StairTriangular(n, stairNB(n))
-			sStair.Add(x, sim.GBps(dt.Size(), r.timePack(dt, 1)))
+			pt[2] = sim.GBps(dt.Size(), r.timePack(dt, 1))
+			r.close()
 		}
 		{
 			r := newKernelRig(core.Options{})
@@ -125,8 +134,17 @@ func Fig6(sizes []int) *Figure {
 				dur = p.Now() - t0
 			})
 			r.eng.Run()
-			sC.Add(x, sim.GBps(sz, dur))
+			pt[3] = sim.GBps(sz, dur)
+			r.close()
 		}
+		return pt
+	})
+	for i, n := range sizes {
+		x := float64(n)
+		sV.Add(x, pts[i][0])
+		sT.Add(x, pts[i][1])
+		sStair.Add(x, pts[i][2])
+		sC.Add(x, pts[i][3])
 	}
 	return f
 }
@@ -177,10 +195,13 @@ func Fig7(sizes []int) *Figure {
 		{name: "T-d2d2h-cached", dt: tri, opts: cached, warmup: 1, viaHost: true},
 		{name: "T-cpy-cached", dt: tri, opts: cached, warmup: 1, zeroCpy: true},
 	}
-	for _, c := range cases {
+	vals := pmap(len(cases)*len(sizes), func(k int) float64 {
+		return runFig7Case(cases[k/len(sizes)], sizes[k%len(sizes)]).Millis()
+	})
+	for ci, c := range cases {
 		s := f.NewSeries(c.name)
-		for _, n := range sizes {
-			s.Add(float64(n), runFig7Case(c, n).Millis())
+		for si, n := range sizes {
+			s.Add(float64(n), vals[ci*len(sizes)+si])
 		}
 	}
 	return f
@@ -218,6 +239,7 @@ func runFig7Case(c fig7Case, n int) sim.Time {
 		dur = p.Now() - t0
 	})
 	r.eng.Run()
+	r.close()
 	return dur
 }
 
@@ -238,56 +260,70 @@ func Fig8(blockCounts []int64, blockSizes []int64) *Figure {
 		YLabel: "ms",
 		Note:   "Paper: memcpy2d collapses off the 64B-pitch fast path; kernel-d2d tracks mcp2d-d2d.",
 	}
-	for _, blocks := range blockCounts {
+	pts := pmap(len(blockCounts)*len(blockSizes), func(k int) [6]float64 {
+		blocks := blockCounts[k/len(blockSizes)]
+		bs := blockSizes[k%len(blockSizes)]
+		stride := 2 * bs
+		dt := datatype.Hvector(int(blocks), int(bs), stride, datatype.Byte)
+		total := dt.Size()
+
+		run := func(fn func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer)) sim.Time {
+			r := newKernelRig(core.Options{})
+			data := r.ctx.Malloc(0, layoutSpan(dt, 1))
+			dev := r.ctx.Malloc(0, total)
+			host := r.ctx.MallocHost(total)
+			var dur sim.Time
+			r.eng.Spawn("fig8", func(p *sim.Proc) {
+				// Warm the DEV cache so kernel curves are kernel-only.
+				r.e.Pack(p, data, dt, 1, dev)
+				t0 := p.Now()
+				fn(p, r, data, dev, host)
+				dur = p.Now() - t0
+			})
+			r.eng.Run()
+			r.close()
+			return dur
+		}
+
+		return [6]float64{
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, dev)
+			}).Millis(),
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, dev)
+				r.ctx.Memcpy(p, host, dev)
+			}).Millis(),
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.e.Pack(p, data, dt, 1, host)
+			}).Millis(),
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
+			}).Millis(),
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, host, bs, data, stride, bs, blocks)
+			}).Millis(),
+			run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
+				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
+				r.ctx.Memcpy(p, host, dev)
+			}).Millis(),
+		}
+	})
+	for bi, blocks := range blockCounts {
 		kd2d := f.NewSeries(fmt.Sprintf("kernel-d2d/%dK", blocks>>10))
 		kd2d2h := f.NewSeries(fmt.Sprintf("kernel-d2d2h/%dK", blocks>>10))
 		kcpy := f.NewSeries(fmt.Sprintf("kernel-d2h(cpy)/%dK", blocks>>10))
 		m2d := f.NewSeries(fmt.Sprintf("mcp2d-d2d/%dK", blocks>>10))
 		m2h := f.NewSeries(fmt.Sprintf("mcp2d-d2h/%dK", blocks>>10))
 		m2d2h := f.NewSeries(fmt.Sprintf("mcp2d-d2d2h/%dK", blocks>>10))
-		for _, bs := range blockSizes {
+		for si, bs := range blockSizes {
 			x := float64(bs)
-			stride := 2 * bs
-			dt := datatype.Hvector(int(blocks), int(bs), stride, datatype.Byte)
-			total := dt.Size()
-
-			run := func(fn func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer)) sim.Time {
-				r := newKernelRig(core.Options{})
-				data := r.ctx.Malloc(0, layoutSpan(dt, 1))
-				dev := r.ctx.Malloc(0, total)
-				host := r.ctx.MallocHost(total)
-				var dur sim.Time
-				r.eng.Spawn("fig8", func(p *sim.Proc) {
-					// Warm the DEV cache so kernel curves are kernel-only.
-					r.e.Pack(p, data, dt, 1, dev)
-					t0 := p.Now()
-					fn(p, r, data, dev, host)
-					dur = p.Now() - t0
-				})
-				r.eng.Run()
-				return dur
-			}
-
-			kd2d.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.e.Pack(p, data, dt, 1, dev)
-			}).Millis())
-			kd2d2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.e.Pack(p, data, dt, 1, dev)
-				r.ctx.Memcpy(p, host, dev)
-			}).Millis())
-			kcpy.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.e.Pack(p, data, dt, 1, host)
-			}).Millis())
-			m2d.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
-			}).Millis())
-			m2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.ctx.Memcpy2D(p, host, bs, data, stride, bs, blocks)
-			}).Millis())
-			m2d2h.Add(x, run(func(p *sim.Proc, r *kernelRig, data, dev, host mem.Buffer) {
-				r.ctx.Memcpy2D(p, dev, bs, data, stride, bs, blocks)
-				r.ctx.Memcpy(p, host, dev)
-			}).Millis())
+			pt := pts[bi*len(blockSizes)+si]
+			kd2d.Add(x, pt[0])
+			kd2d2h.Add(x, pt[1])
+			kcpy.Add(x, pt[2])
+			m2d.Add(x, pt[3])
+			m2h.Add(x, pt[4])
+			m2d2h.Add(x, pt[5])
 		}
 	}
 	return f
@@ -306,9 +342,14 @@ func AblationUnitSize(n int, unitSizes []int64) *Figure {
 	}
 	s := f.NewSeries("T pack")
 	dt := shapes.LowerTriangular(n)
-	for _, us := range unitSizes {
-		r := newKernelRig(core.Options{UnitSize: us, NoCacheDEV: true})
-		s.Add(float64(us), sim.GBps(dt.Size(), r.timePack(dt, 0)))
+	vals := pmap(len(unitSizes), func(i int) float64 {
+		r := newKernelRig(core.Options{UnitSize: unitSizes[i], NoCacheDEV: true})
+		v := sim.GBps(dt.Size(), r.timePack(dt, 0))
+		r.close()
+		return v
+	})
+	for i, us := range unitSizes {
+		s.Add(float64(us), vals[i])
 	}
 	return f
 }

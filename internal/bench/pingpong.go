@@ -101,6 +101,7 @@ func PingPong(sp PingPongSpec) sim.Time {
 		Engine:   sp.Engine,
 		Proto:    sp.Proto,
 	})
+	defer w.Close()
 	label := fmt.Sprintf("pingpong %s %s", sp.Topo, sp.Dt0.Name())
 	rec := attachTrace(w.Engine(), label)
 	if rec == nil && sp.traced() {
@@ -189,19 +190,17 @@ func Fig9(sizes []int) *Figure {
 	sV := f.NewSeries("V")
 	sT := f.NewSeries("T")
 	sC := f.NewSeries("C")
-	for _, n := range sizes {
+	mkDt := []func(n int) *datatype.Datatype{vMat, shapes.LowerTriangular, shapes.FullMatrix}
+	vals := pmap(len(sizes)*len(mkDt), func(k int) float64 {
+		dt := mkDt[k%len(mkDt)](sizes[k/len(mkDt)])
+		rt := PingPong(PingPongSpec{Topo: TwoGPU, Dt0: dt, Count: 1})
+		return sim.GBps(dt.Size(), rt/2)
+	})
+	for i, n := range sizes {
 		x := float64(n)
-		for _, c := range []struct {
-			s  *Series
-			dt *datatype.Datatype
-		}{
-			{sV, vMat(n)},
-			{sT, shapes.LowerTriangular(n)},
-			{sC, shapes.FullMatrix(n)},
-		} {
-			rt := PingPong(PingPongSpec{Topo: TwoGPU, Dt0: c.dt, Count: 1})
-			c.s.Add(x, sim.GBps(c.dt.Size(), rt/2))
-		}
+		sV.Add(x, vals[i*3])
+		sT.Add(x, vals[i*3+1])
+		sC.Add(x, vals[i*3+2])
 	}
 	return f
 }
@@ -216,21 +215,30 @@ func Fig10(topo Topology, sizes []int) *Figure {
 		YLabel: "ms",
 		Note:   "Paper: ours wins everywhere; MVAPICH's indexed path leaves the chart.",
 	}
-	for _, c := range []struct {
+	cases := []struct {
 		label string
 		dt    func(n int) *datatype.Datatype
 	}{
 		{"T", shapes.LowerTriangular},
 		{"V", vMat},
-	} {
+	}
+	pts := pmap(len(cases)*len(sizes), func(k int) [2]float64 {
+		c, n := cases[k/len(sizes)], sizes[k%len(sizes)]
+		dt := c.dt(n)
+		return [2]float64{
+			PingPong(PingPongSpec{Topo: topo, Dt0: dt, Count: 1}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: topo, Dt0: dt, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis(),
+		}
+	})
+	for ci, c := range cases {
 		ours := f.NewSeries(fmt.Sprintf("%s-%s", c.label, topo))
 		mv := f.NewSeries(fmt.Sprintf("%s-%s-MVAPICH", c.label, topo))
-		for _, n := range sizes {
-			dt := c.dt(n)
-			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: dt, Count: 1}).Millis())
-			mv.Add(float64(n), PingPong(PingPongSpec{
-				Topo: topo, Dt0: dt, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
-			}).Millis())
+		for si, n := range sizes {
+			pt := pts[ci*len(sizes)+si]
+			ours.Add(float64(n), pt[0])
+			mv.Add(float64(n), pt[1])
 		}
 	}
 	return f
@@ -246,16 +254,25 @@ func Fig11(sizes []int) *Figure {
 		YLabel: "ms",
 		Note:   "Paper: the handshake lets the sender pack directly into the receiver buffer (RDMA + zero copy).",
 	}
-	for _, topo := range []Topology{TwoGPU, TwoNode} {
+	topos := []Topology{TwoGPU, TwoNode}
+	pts := pmap(len(topos)*len(sizes), func(k int) [2]float64 {
+		topo, n := topos[k/len(sizes)], sizes[k%len(sizes)]
+		vec := vMat(n)
+		contig := shapes.FullMatrix(n)
+		return [2]float64{
+			PingPong(PingPongSpec{Topo: topo, Dt0: vec, Dt1: contig, Count: 1}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: topo, Dt0: vec, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis(),
+		}
+	})
+	for ti, topo := range topos {
 		ours := f.NewSeries(fmt.Sprintf("VC-%s", topo))
 		mv := f.NewSeries(fmt.Sprintf("VC-%s-MVAPICH", topo))
-		for _, n := range sizes {
-			vec := vMat(n)
-			contig := shapes.FullMatrix(n)
-			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: vec, Dt1: contig, Count: 1}).Millis())
-			mv.Add(float64(n), PingPong(PingPongSpec{
-				Topo: topo, Dt0: vec, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
-			}).Millis())
+		for si, n := range sizes {
+			pt := pts[ti*len(sizes)+si]
+			ours.Add(float64(n), pt[0])
+			mv.Add(float64(n), pt[1])
 		}
 	}
 	return f
@@ -272,16 +289,25 @@ func Fig12(sizes []int) *Figure {
 		YLabel: "ms",
 		Note:   "Stress test: 8-byte blocks defeat coalescing for us and explode call counts for MVAPICH.",
 	}
-	for _, topo := range []Topology{TwoGPU, TwoNode} {
+	topos := []Topology{TwoGPU, TwoNode}
+	pts := pmap(len(topos)*len(sizes), func(k int) [2]float64 {
+		topo, n := topos[k/len(sizes)], sizes[k%len(sizes)]
+		tr := shapes.Transpose(n)
+		contig := shapes.FullMatrix(n)
+		return [2]float64{
+			PingPong(PingPongSpec{Topo: topo, Dt0: tr, Dt1: contig, Count: 1}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: topo, Dt0: tr, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			}).Millis(),
+		}
+	})
+	for ti, topo := range topos {
 		ours := f.NewSeries(fmt.Sprintf("TR-%s", topo))
 		mv := f.NewSeries(fmt.Sprintf("TR-%s-MVAPICH", topo))
-		for _, n := range sizes {
-			tr := shapes.Transpose(n)
-			contig := shapes.FullMatrix(n)
-			ours.Add(float64(n), PingPong(PingPongSpec{Topo: topo, Dt0: tr, Dt1: contig, Count: 1}).Millis())
-			mv.Add(float64(n), PingPong(PingPongSpec{
-				Topo: topo, Dt0: tr, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
-			}).Millis())
+		for si, n := range sizes {
+			pt := pts[ti*len(sizes)+si]
+			ours.Add(float64(n), pt[0])
+			mv.Add(float64(n), pt[1])
 		}
 	}
 	return f
@@ -300,13 +326,20 @@ func Sec53(n int, blockCaps []int) *Figure {
 	}
 	sV := f.NewSeries("V")
 	sT := f.NewSeries("T")
-	for _, k := range blockCaps {
-		sV.Add(float64(k), PingPong(PingPongSpec{
-			Topo: TwoGPU, Dt0: vMat(n), Count: 1, BlockCap: k,
-		}).Millis())
-		sT.Add(float64(k), PingPong(PingPongSpec{
-			Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BlockCap: k,
-		}).Millis())
+	pts := pmap(len(blockCaps), func(i int) [2]float64 {
+		k := blockCaps[i]
+		return [2]float64{
+			PingPong(PingPongSpec{
+				Topo: TwoGPU, Dt0: vMat(n), Count: 1, BlockCap: k,
+			}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BlockCap: k,
+			}).Millis(),
+		}
+	})
+	for i, k := range blockCaps {
+		sV.Add(float64(k), pts[i][0])
+		sT.Add(float64(k), pts[i][1])
 	}
 	return f
 }
@@ -326,23 +359,33 @@ func Sec54(n int, loads []float64) *Figure {
 	sV1 := f.NewSeries("V-1GPU")
 	sT1 := f.NewSeries("T-1GPU")
 	total := bigGPU().DefaultBlocks
-	for _, load := range loads {
+	pts := pmap(len(loads), func(i int) [4]float64 {
+		load := loads[i]
 		bg := int(float64(total) * load)
 		dram := load * 0.9
-		sV.Add(load, PingPong(PingPongSpec{
-			Topo: TwoGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
-		}).Millis())
-		sT.Add(load, PingPong(PingPongSpec{
-			Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
-		}).Millis())
 		// Intra-GPU transfers are DRAM-bound, so the background app's
-		// bandwidth share hits them much harder.
-		sV1.Add(load, PingPong(PingPongSpec{
-			Topo: OneGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
-		}).Millis())
-		sT1.Add(load, PingPong(PingPongSpec{
-			Topo: OneGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
-		}).Millis())
+		// bandwidth share hits them much harder than the PCIe-bound
+		// 2-GPU transfers.
+		return [4]float64{
+			PingPong(PingPongSpec{
+				Topo: TwoGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+			}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: TwoGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+			}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: OneGPU, Dt0: vMat(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+			}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: OneGPU, Dt0: shapes.LowerTriangular(n), Count: 1, BGBlocks: bg, BGDRAM: dram,
+			}).Millis(),
+		}
+	})
+	for i, load := range loads {
+		sV.Add(load, pts[i][0])
+		sT.Add(load, pts[i][1])
+		sV1.Add(load, pts[i][2])
+		sT1.Add(load, pts[i][3])
 	}
 	return f
 }
@@ -356,11 +399,14 @@ func AblationPipeline(n int, fragSizes []int64) *Figure {
 		YLabel: "ms",
 	}
 	sV := f.NewSeries("V")
-	for _, fb := range fragSizes {
-		sV.Add(float64(fb), PingPong(PingPongSpec{
+	vals := pmap(len(fragSizes), func(i int) float64 {
+		return PingPong(PingPongSpec{
 			Topo: TwoGPU, Dt0: vMat(n), Count: 1,
-			Proto: mpi.ProtoOptions{FragBytes: fb},
-		}).Millis())
+			Proto: mpi.ProtoOptions{FragBytes: fragSizes[i]},
+		}).Millis()
+	})
+	for i, fb := range fragSizes {
+		sV.Add(float64(fb), vals[i])
 	}
 	return f
 }
@@ -376,13 +422,19 @@ func AblationRemoteUnpack(sizes []int) *Figure {
 	}
 	staged := f.NewSeries("staged")
 	direct := f.NewSeries("direct")
-	for _, n := range sizes {
-		dt := shapes.LowerTriangular(n)
-		staged.Add(float64(n), PingPong(PingPongSpec{Topo: TwoGPU, Dt0: dt, Count: 1}).Millis())
-		direct.Add(float64(n), PingPong(PingPongSpec{
-			Topo: TwoGPU, Dt0: dt, Count: 1,
-			Proto: mpi.ProtoOptions{DirectRemoteUnpack: true},
-		}).Millis())
+	pts := pmap(len(sizes), func(i int) [2]float64 {
+		dt := shapes.LowerTriangular(sizes[i])
+		return [2]float64{
+			PingPong(PingPongSpec{Topo: TwoGPU, Dt0: dt, Count: 1}).Millis(),
+			PingPong(PingPongSpec{
+				Topo: TwoGPU, Dt0: dt, Count: 1,
+				Proto: mpi.ProtoOptions{DirectRemoteUnpack: true},
+			}).Millis(),
+		}
+	})
+	for i, n := range sizes {
+		staged.Add(float64(n), pts[i][0])
+		direct.Add(float64(n), pts[i][1])
 	}
 	return f
 }
@@ -401,9 +453,8 @@ func Fig1Solutions(sizes []int) *Figure {
 	sB := f.NewSeries("b-per-block-d2h")
 	sC := f.NewSeries("c-per-block-d2d")
 	sD := f.NewSeries("d-gpu-pack")
-	for _, n := range sizes {
-		dt := shapes.LowerTriangular(n)
-		x := float64(n)
+	pts := pmap(len(sizes), func(i int) [4]float64 {
+		dt := shapes.LowerTriangular(sizes[i])
 		r := newKernelRig(core.Options{})
 		span := layoutSpan(dt, 1)
 		data := r.ctx.Malloc(0, span)
@@ -426,10 +477,15 @@ func Fig1Solutions(sizes []int) *Figure {
 			td = p.Now() - t0
 		})
 		r.eng.Run()
-		sA.Add(x, ta.Millis())
-		sB.Add(x, tb.Millis())
-		sC.Add(x, tc.Millis())
-		sD.Add(x, td.Millis())
+		r.close()
+		return [4]float64{ta.Millis(), tb.Millis(), tc.Millis(), td.Millis()}
+	})
+	for i, n := range sizes {
+		x := float64(n)
+		sA.Add(x, pts[i][0])
+		sB.Add(x, pts[i][1])
+		sC.Add(x, pts[i][2])
+		sD.Add(x, pts[i][3])
 	}
 	return f
 }

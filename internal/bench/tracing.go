@@ -2,10 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"gpuddt/internal/sim"
 	"gpuddt/internal/trace"
 )
+
+// traceMu guards traceRuns and rigSeq: with SetParallelism > 1 the
+// figure runners build worlds from concurrent goroutines.
+var traceMu sync.Mutex
 
 // traceRuns, when non-nil, receives a timeline recorder for every
 // simulation the figure runners build (see CollectTraces).
@@ -19,15 +24,29 @@ var rigSeq int
 // as one Chrome trace (one process per run). It returns the accumulating
 // run list and a stop function; call stop before reading the runs.
 // Recording is pure bookkeeping and does not change virtual time, so
-// figure outputs are identical with collection on or off.
+// figure outputs are identical with collection on or off. Under
+// SetParallelism > 1 the runs appear in world-creation (completion)
+// order rather than the serial sweep order.
 func CollectTraces() (runs *[]trace.Run, stop func()) {
 	rs := &[]trace.Run{}
+	traceMu.Lock()
 	traceRuns = rs
-	return rs, func() { traceRuns = nil }
+	traceMu.Unlock()
+	return rs, func() {
+		traceMu.Lock()
+		traceRuns = nil
+		traceMu.Unlock()
+	}
 }
 
 // attachTrace attaches a recorder to eng when collection is enabled.
 func attachTrace(eng *sim.Engine, label string) *sim.Recorder {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return attachTraceLocked(eng, label)
+}
+
+func attachTraceLocked(eng *sim.Engine, label string) *sim.Recorder {
 	if traceRuns == nil {
 		return nil
 	}
@@ -38,6 +57,8 @@ func attachTrace(eng *sim.Engine, label string) *sim.Recorder {
 
 // attachRigTrace labels a kernel rig's engine with a sequence number.
 func attachRigTrace(eng *sim.Engine) {
-	attachTrace(eng, fmt.Sprintf("rig%d", rigSeq))
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	attachTraceLocked(eng, fmt.Sprintf("rig%d", rigSeq))
 	rigSeq++
 }

@@ -161,7 +161,7 @@ func GoldenTreeFor(seed uint64) GoldenTree {
 		Count:   tr.Count,
 		Packed:  tr.Total(),
 		Span:    tr.Span,
-		Blocks:  len(tr.Dt.Flat()),
+		Blocks:  tr.Dt.NumBlocks(),
 		Segs:    len(baseline.Vectorize(tr.Dt, tr.Count)),
 		Units:   tr.DEVUnits(1024),
 		Overlap: HasOverlap(tr.Map),

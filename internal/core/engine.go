@@ -73,6 +73,12 @@ type Options struct {
 	// remote unpack generates too much traffic and under-utilizes
 	// PCI-E). Default 0.7.
 	RemoteAccessEff float64
+
+	// CacheBytes is the per-device byte budget of the DEV descriptor
+	// cache (default DefaultCacheBytes). The budget is shared by all
+	// engines on a device; the first engine created on the device fixes
+	// it. Unit lists larger than the whole budget are not cached.
+	CacheBytes int64
 }
 
 // DefaultOptions returns the calibrated defaults.
@@ -83,12 +89,8 @@ func DefaultOptions() Options {
 		ConvPerEntry:    40 * sim.Nanosecond,
 		ConvPerUnit:     8 * sim.Nanosecond,
 		RemoteAccessEff: 0.7,
+		CacheBytes:      DefaultCacheBytes,
 	}
-}
-
-type cacheKey struct {
-	dt    *datatype.Datatype
-	count int
 }
 
 type cacheVal struct {
@@ -102,7 +104,7 @@ type Engine struct {
 	dev    *gpu.Device
 	stream *gpu.Stream
 	opts   Options
-	cache  map[cacheKey]*cacheVal
+	cache  *DevCache // device-wide, shared with sibling engines
 
 	// statistics
 	convEntries int64
@@ -133,13 +135,21 @@ func New(ctx *cuda.Ctx, devID int, opts Options) *Engine {
 	if opts.RemoteAccessEff == 0 {
 		opts.RemoteAccessEff = def.RemoteAccessEff
 	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = def.CacheBytes
+	}
 	dev := ctx.Node().GPU(devID)
+	cache, _ := dev.DDTCache().(*DevCache)
+	if cache == nil {
+		cache = newDevCache(opts.CacheBytes)
+		dev.SetDDTCache(cache)
+	}
 	return &Engine{
 		ctx:    ctx,
 		dev:    dev,
 		stream: dev.NewStream("ddt"),
 		opts:   opts,
-		cache:  make(map[cacheKey]*cacheVal),
+		cache:  cache,
 	}
 }
 
@@ -163,28 +173,53 @@ func (e *Engine) CacheHits() int64 { return e.cacheHits }
 // produced by CPU-side conversion (cache misses only).
 func (e *Engine) ConvertedUnits() int64 { return e.convUnits }
 
+// DevCache returns the device-wide descriptor cache the engine stores
+// its unit lists in.
+func (e *Engine) DevCache() *DevCache { return e.cache }
+
+// count bumps a recorder counter when tracing is on (the engine may be
+// called outside any process, so it cannot use Proc.Count).
+func (e *Engine) count(name string, delta int64) {
+	if rec := e.ctx.Engine().Recorder(); rec != nil {
+		rec.Count(name, delta)
+	}
+}
+
 // lookupCache returns the cached unit list for (dt, count), if enabled
 // and present.
 func (e *Engine) lookupCache(dt *datatype.Datatype, count int) *cacheVal {
 	if e.opts.NoCacheDEV {
 		return nil
 	}
-	return e.cache[cacheKey{dt, count}]
+	val := e.cache.lookup(devKey{e, dt, count})
+	if val != nil {
+		e.count("core.dev.hit", 1)
+	} else {
+		e.count("core.dev.miss", 1)
+	}
+	return val
 }
 
 // storeCache saves a fully converted unit list and charges the GPU
 // memory that holds the descriptor array (the paper's "few MBs of GPU
-// memory", §5.1).
+// memory", §5.1). Lists that could never fit the device budget are not
+// cached; stores that push the cache over budget evict older lists and
+// release their descriptor arrays.
 func (e *Engine) storeCache(dt *datatype.Datatype, count int, entries []Entry) {
 	if e.opts.NoCacheDEV {
 		return
 	}
-	key := cacheKey{dt, count}
-	if _, ok := e.cache[key]; ok {
+	key := devKey{e, dt, count}
+	bytes := int64(len(entries)) * entryDevBytes
+	if e.cache.contains(key) || !e.cache.admits(bytes) {
 		return
 	}
-	devBuf := e.dev.Mem().Alloc(int64(len(entries))*entryDevBytes, 256)
-	e.cache[key] = &cacheVal{entries: entries, devBuf: devBuf}
+	devBuf := e.dev.Mem().Alloc(bytes, 256)
+	evicted := e.cache.store(key, &cacheVal{entries: entries, devBuf: devBuf}, bytes)
+	for _, b := range evicted {
+		e.count("core.dev.evict", 1)
+		b.Space().Free(b)
+	}
 }
 
 // entryDevBytes is sizeof(cuda_dev_dist): three 8-byte fields (§3.2).

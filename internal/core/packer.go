@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/mem"
@@ -35,6 +37,11 @@ type Packer struct {
 	cached   *cacheVal
 	building []Entry // accumulates entries on a cache miss
 	ci       int     // index into cached.entries at the current position
+
+	// scratch holds the per-window unit list. launch copies units out
+	// synchronously, so the slice is safely reused across windows,
+	// removing the per-fragment allocation the seed paid.
+	scratch []Entry
 }
 
 // NewPacker prepares packing of count elements of dt laid out over data
@@ -65,7 +72,7 @@ func (e *Engine) newWorker(data mem.Buffer, dt *datatype.Datatype, count int, di
 		if pk.cached = e.lookupCache(dt, count); pk.cached != nil {
 			e.cacheHits++
 		} else if !e.opts.NoCacheDEV {
-			pk.building = make([]Entry, 0, 1024)
+			pk.building = e.cache.grabSlab()
 		}
 	}
 	return pk
@@ -134,7 +141,7 @@ func (pk *Packer) process(p *sim.Proc, frag mem.Buffer) (int64, *sim.Future) {
 // like the specialized kernel taking (blocklen, stride, count) arguments.
 func (pk *Packer) viewEntries(start, n int64) []Entry {
 	v := pk.view
-	var out []Entry
+	out := pk.scratch[:0]
 	end := start + n
 	for i := start / v.BlockLen; i < v.Count; i++ {
 		bStart := i * v.BlockLen // packed offset of block i
@@ -158,6 +165,7 @@ func (pk *Packer) viewEntries(start, n int64) []Entry {
 			l += take
 		}
 	}
+	pk.scratch = out
 	return out
 }
 
@@ -167,11 +175,15 @@ func (pk *Packer) viewEntries(start, n int64) []Entry {
 func (pk *Packer) cachedEntries(start, n int64) []Entry {
 	entries := pk.cached.entries
 	end := start + n
-	// Resume scanning from the last position (windows are sequential).
-	for pk.ci > 0 && entries[pk.ci-1].PackOff+int64(entries[pk.ci-1].Len) > start {
-		pk.ci--
+	// Windows are usually sequential, continuing at pk.ci. A restart
+	// (retransmission, pipeline rewind) binary-searches the unit list —
+	// PackOff is monotonic — instead of replaying it.
+	if pk.ci > 0 && entries[pk.ci-1].PackOff+int64(entries[pk.ci-1].Len) > start {
+		pk.ci = sort.Search(len(entries), func(i int) bool {
+			return entries[i].PackOff+int64(entries[i].Len) > start
+		})
 	}
-	var out []Entry
+	out := pk.scratch[:0]
 	for i := pk.ci; i < len(entries); i++ {
 		u := entries[i]
 		uStart, uEnd := u.PackOff, u.PackOff+int64(u.Len)
@@ -196,6 +208,7 @@ func (pk *Packer) cachedEntries(start, n int64) []Entry {
 			Partial: u.Partial || hi-lo < int64(u.Len),
 		})
 	}
+	pk.scratch = out
 	return out
 }
 
@@ -205,7 +218,6 @@ func (pk *Packer) cachedEntries(start, n int64) []Entry {
 // pipelining disabled the full window is converted before one launch.
 func (pk *Packer) convertAndLaunch(p *sim.Proc, start, n int64, frag mem.Buffer) *sim.Future {
 	opts := &pk.e.opts
-	var all []Entry
 	var fut *sim.Future
 	converted := int64(0)
 	for converted < n {
@@ -217,12 +229,13 @@ func (pk *Packer) convertAndLaunch(p *sim.Proc, start, n int64, frag mem.Buffer)
 			m = rem
 		}
 		chunkStart := start + converted
-		var entries []Entry
+		entries := pk.scratch[:0]
 		pieces := 0
 		pk.conv.Advance(m, func(memOff, packOff, l int64) {
 			pieces++
 			entries = splitEntries(entries, opts.UnitSize, memOff, packOff, l)
 		})
+		pk.scratch = entries
 		// CPU cost of simulating the pack and emitting cuda_dev_dist
 		// entries for this chunk.
 		p.Sleep(sim.Time(pieces)*opts.ConvPerEntry + sim.Time(len(entries))*opts.ConvPerUnit)
@@ -233,15 +246,12 @@ func (pk *Packer) convertAndLaunch(p *sim.Proc, start, n int64, frag mem.Buffer)
 		fut = pk.launch(gpu.DEVKernel, entries, chunkStart, frag.Slice(converted, m+0))
 		converted += m
 		if pk.building != nil {
-			all = append(all, entries...)
+			pk.building = append(pk.building, entries...)
 		}
 	}
-	if pk.building != nil {
-		pk.building = append(pk.building, all...)
-		if pk.conv.Done() {
-			pk.e.storeCache(pk.dt, pk.cnt, pk.building)
-			pk.building = nil
-		}
+	if pk.building != nil && pk.conv.Done() {
+		pk.e.storeCache(pk.dt, pk.cnt, pk.building)
+		pk.building = nil
 	}
 	return fut
 }
@@ -250,7 +260,7 @@ func (pk *Packer) convertAndLaunch(p *sim.Proc, start, n int64, frag mem.Buffer)
 // fragStart is the packed offset of frag[0].
 func (pk *Packer) launch(kind gpu.KernelKind, entries []Entry, fragStart int64, frag mem.Buffer) *sim.Future {
 	k := &gpu.Kernel{Kind: kind, Blocks: pk.e.opts.Blocks}
-	units := make([]gpu.Unit, len(entries))
+	units := gpu.GetUnits(len(entries))
 	if pk.dir == dirPack {
 		k.Src, k.Dst = pk.data, frag
 		for i, u := range entries {

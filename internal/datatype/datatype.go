@@ -12,7 +12,10 @@
 // for MPI API fidelity and returns the receiver.
 package datatype
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // kind enumerates the datatype constructors.
 type kind int
@@ -96,6 +99,9 @@ type Datatype struct {
 	flat []Block  // flattened blocks of one element, traversal order, merged
 	sig  []SigRun // signature of one element
 	vec  *VectorView
+
+	planOnce sync.Once // guards planVal (compiled lazily, possibly from concurrent worlds)
+	planVal  *Plan
 }
 
 func (d *Datatype) finish() *Datatype {
@@ -165,9 +171,13 @@ func (d *Datatype) TrueExtent() int64 { return d.tub - d.tlb }
 func (d *Datatype) Commit() *Datatype { return d }
 
 // Flat returns the flattened contiguous blocks of one element, in
-// traversal order with adjacent blocks merged. The slice is shared; do
-// not modify it.
-func (d *Datatype) Flat() []Block { return d.flat }
+// traversal order with adjacent blocks merged. The slice is a copy;
+// callers may keep or modify it freely.
+func (d *Datatype) Flat() []Block {
+	out := make([]Block, len(d.flat))
+	copy(out, d.flat)
+	return out
+}
 
 // NumBlocks returns the number of contiguous blocks in one element.
 func (d *Datatype) NumBlocks() int { return len(d.flat) }

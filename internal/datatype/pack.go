@@ -8,6 +8,7 @@ import "fmt"
 // pipelined protocols need (Open MPI's opal_convertor).
 type Converter struct {
 	dt     *Datatype
+	plan   *Plan
 	count  int64
 	extent int64
 	total  int64
@@ -33,6 +34,7 @@ func NewConverter(dt *Datatype, count int) *Converter {
 	}
 	return &Converter{
 		dt:     dt,
+		plan:   dt.Plan(),
 		count:  int64(count),
 		extent: dt.Extent(),
 		total:  int64(count) * dt.Size(),
@@ -56,15 +58,22 @@ func (c *Converter) Rewind() {
 	c.rep, c.bi, c.bo, c.packed = 0, 0, 0, 0
 }
 
-// SeekTo positions the converter at packed offset pos (MPI_Pack position).
+// SeekTo positions the converter at packed offset pos (MPI_Pack
+// position). It uses the datatype's compiled plan: O(1) for canonically
+// strided layouts, O(log B) prefix-sum search otherwise — it never
+// replays the layout.
 func (c *Converter) SeekTo(pos int64) {
 	if pos < 0 || pos > c.total {
 		panic(fmt.Sprintf("datatype: seek %d outside [0,%d]", pos, c.total))
 	}
-	c.Rewind()
-	if pos > 0 {
-		c.Advance(pos, nil)
+	if pos == 0 || c.total == 0 {
+		c.Rewind()
+		return
 	}
+	size := c.dt.size
+	c.rep = pos / size
+	c.bi, c.bo = c.plan.locate(pos - c.rep*size)
+	c.packed = pos
 }
 
 // Advance consumes up to max packed bytes, invoking emit (if non-nil) for
@@ -74,6 +83,9 @@ func (c *Converter) SeekTo(pos int64) {
 func (c *Converter) Advance(max int64, emit func(memOff, packOff, n int64)) int64 {
 	if max < 0 {
 		panic("datatype: negative advance")
+	}
+	if cv := c.plan.canon; cv != nil {
+		return c.advanceCanon(cv, max, emit)
 	}
 	flat := c.dt.flat
 	var done int64
@@ -98,6 +110,39 @@ func (c *Converter) Advance(max int64, emit func(memOff, packOff, n int64)) int6
 			}
 		}
 	}
+	return done
+}
+
+// advanceCanon is Advance over a canonically strided layout: block
+// offsets come from the strided form's arithmetic, so the walk never
+// touches the flattened block slice (which for shapes like a matrix
+// transpose holds one entry per scalar). The emitted pieces are
+// identical to the generic walk's.
+func (c *Converter) advanceCanon(cv *CanonVec, max int64, emit func(memOff, packOff, n int64)) int64 {
+	nb := cv.NumBlocks()
+	bi := int64(c.bi)
+	var done int64
+	for done < max && c.rep < c.count {
+		take := cv.BlockLen - c.bo
+		if rem := max - done; take > rem {
+			take = rem
+		}
+		if emit != nil {
+			emit(c.rep*c.extent+cv.BlockOff(bi)+c.bo, c.packed, take)
+		}
+		c.bo += take
+		c.packed += take
+		done += take
+		if c.bo == cv.BlockLen {
+			c.bo = 0
+			bi++
+			if bi == nb {
+				bi = 0
+				c.rep++
+			}
+		}
+	}
+	c.bi = int(bi)
 	return done
 }
 

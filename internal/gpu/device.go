@@ -27,6 +27,12 @@ type Device struct {
 
 	kernelsRun int64
 	rawMoved   int64
+
+	// ddtCache hosts the per-device datatype-engine descriptor cache.
+	// It is opaque here (the concrete type lives in internal/core, which
+	// imports this package) and shared by every engine bound to the
+	// device.
+	ddtCache interface{}
 }
 
 // NewDevice creates a GPU with the given calibration profile.
@@ -53,8 +59,19 @@ func (d *Device) Params() Params { return d.p }
 // Mem returns the device memory space.
 func (d *Device) Mem() *mem.Space { return d.mem }
 
+// Release recycles the device memory's backing storage (see
+// mem.Space.Release). The device must not be used afterwards.
+func (d *Device) Release() { d.mem.Release() }
+
 // KernelsRun returns the number of kernels executed so far.
 func (d *Device) KernelsRun() int64 { return d.kernelsRun }
+
+// DDTCache returns the datatype-engine cache attached to the device, or
+// nil if none has been installed yet.
+func (d *Device) DDTCache() interface{} { return d.ddtCache }
+
+// SetDDTCache attaches the device-wide datatype-engine cache.
+func (d *Device) SetDDTCache(v interface{}) { d.ddtCache = v }
 
 // SetBlockCap restricts pack/unpack kernels to at most n CUDA blocks
 // (the §5.3 "minimal resources" experiment). n <= 0 removes the cap.

@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"sync"
+
 	"gpuddt/internal/mem"
 	"gpuddt/internal/sim"
 )
@@ -34,6 +36,25 @@ type Unit struct {
 	SrcOff, DstOff int64
 	Len            int32
 	Partial        bool
+}
+
+// unitPool recycles Unit slices between kernel launches: a figure sweep
+// issues millions of launches and the descriptor arrays are the last
+// remaining steady-state allocation on the pack path.
+var unitPool sync.Pool
+
+// GetUnits returns a descriptor slice of length n, reusing the array of
+// a completed kernel when one is large enough. Entries hold stale data;
+// the caller must assign every element. Ownership passes to the Kernel:
+// run() returns the slice to the pool, so neither the caller nor anyone
+// else may touch Units after the kernel's future resolves.
+func GetUnits(n int) []Unit {
+	if v := unitPool.Get(); v != nil {
+		if s := v.([]Unit); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]Unit, n)
 }
 
 // Kernel describes one pack or unpack kernel launch. Units reference the
@@ -154,8 +175,11 @@ func (d *Device) Compute(s *Stream, raw int64, blocks int) *sim.Future {
 
 // run moves the bytes of every unit. Called at kernel completion time so
 // no process can observe partially written data earlier in virtual time.
+// The descriptor array is recycled afterwards (see GetUnits).
 func (k *Kernel) run() {
 	for _, u := range k.Units {
 		mem.Copy(k.Dst.Slice(u.DstOff, int64(u.Len)), k.Src.Slice(u.SrcOff, int64(u.Len)))
 	}
+	unitPool.Put(k.Units[:0])
+	k.Units = nil
 }

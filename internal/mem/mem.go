@@ -40,6 +40,12 @@ type Space struct {
 	data  []byte
 	brk   int64
 	frees int64
+
+	// retired holds outgrown backing arrays until Release. They cannot
+	// go back to the slab pool mid-lifetime: a caller may still hold a
+	// (stale, already-copied) Bytes() slice into one, and recycling it
+	// into another Space would alias live traffic over that view.
+	retired [][]byte
 }
 
 // NewSpace creates a space of the given size in bytes.
@@ -47,21 +53,54 @@ func NewSpace(name string, kind Kind, size int64) *Space {
 	return &Space{name: name, kind: kind, size: size}
 }
 
-// ensure grows the backing array to cover [0, n).
+// ensure grows the backing array to cover [0, n). Backing arrays come
+// from the slab pool when possible (see pool.go); recycled and
+// in-place-extended memory is NOT zeroed, which the simulation never
+// relies on.
 func (s *Space) ensure(n int64) {
 	if int64(len(s.data)) >= n {
 		return
 	}
-	grow := int64(len(s.data)) * 2
-	if grow < n {
-		grow = n
+	if int64(cap(s.data)) >= n {
+		s.data = s.data[:n]
+		return
+	}
+	// Round the backing size up to a power of two: requested sizes vary
+	// slightly from world to world (they track the bump-allocator break),
+	// and pooled slabs are only reusable when sizes recur. Power-of-two
+	// classes make every similar-scale world land on the same slab.
+	grow := int64(1) << 12
+	for grow < n {
+		grow <<= 1
 	}
 	if grow > s.size {
 		grow = s.size
 	}
-	nd := make([]byte, grow)
+	nd := getSlab(grow)
+	if nd == nil {
+		nd = make([]byte, grow)
+	}
 	copy(nd, s.data)
+	if len(s.data) > 0 {
+		s.retired = append(s.retired, s.data)
+	}
 	s.data = nd
+}
+
+// Release returns the backing storage to the slab pool so a future
+// Space can reuse it without re-zeroing. The Space and every Buffer
+// into it must not be used afterwards; Release is the end of a
+// simulation world's lifetime (see mpi.World.Close). Safe to call more
+// than once.
+func (s *Space) Release() {
+	if s.data != nil {
+		putSlab(s.data)
+		s.data = nil
+	}
+	for _, r := range s.retired {
+		putSlab(r)
+	}
+	s.retired = nil
 }
 
 // Name returns the space name (e.g. "host", "gpu0").

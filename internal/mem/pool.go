@@ -1,0 +1,73 @@
+package mem
+
+import "sync"
+
+// Slab pool: backing arrays of Released Spaces are recycled into the
+// next Space instead of being garbage-collected. A figure sweep builds
+// hundreds of short-lived simulation worlds, each with a data buffer of
+// up to several hundred MB; without recycling, every world pays for
+// zeroing (or page-faulting) that much fresh memory, which dominates
+// the host-side profile of cmd/ddtbench.
+//
+// Recycled slabs are NOT zeroed. Simulation correctness never depends
+// on zero-initialized memory: every producer (FillPattern, pack
+// kernels, DMA and network copies) writes a region before any consumer
+// reads it, and the conformance suite passes unchanged when fresh
+// memory is deliberately filled with garbage. Virtual time is likewise
+// unaffected — addresses come from the bump allocator and timing from
+// the event engine, neither of which observes buffer contents.
+const (
+	poolBudget   = 6 << 30 // max bytes parked in the pool
+	poolMaxSlabs = 32      // max slab count parked in the pool
+)
+
+var (
+	poolMu    sync.Mutex
+	poolSlabs [][]byte // sorted by cap, ascending
+	poolBytes int64
+)
+
+// getSlab returns a recycled slab with cap >= n (sliced to length n), or
+// nil if none fits. A slab much larger than the request is left for a
+// bigger Space: handing a multi-hundred-MB slab to a KB-sized staging
+// space would force the next big allocation to start from scratch.
+func getSlab(n int64) []byte {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	for i, s := range poolSlabs {
+		c := int64(cap(s))
+		if c < n {
+			continue
+		}
+		if c > 8*n && c > n+(32<<20) {
+			break // ascending order: every later slab is even larger
+		}
+		poolSlabs = append(poolSlabs[:i], poolSlabs[i+1:]...)
+		poolBytes -= c
+		return s[:n]
+	}
+	return nil
+}
+
+// putSlab parks a slab for reuse, evicting the smallest slabs when the
+// pool exceeds its byte or count budget.
+func putSlab(s []byte) {
+	c := int64(cap(s))
+	if c == 0 {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	i := 0
+	for i < len(poolSlabs) && int64(cap(poolSlabs[i])) < c {
+		i++
+	}
+	poolSlabs = append(poolSlabs, nil)
+	copy(poolSlabs[i+1:], poolSlabs[i:])
+	poolSlabs[i] = s
+	poolBytes += c
+	for (poolBytes > poolBudget || len(poolSlabs) > poolMaxSlabs) && len(poolSlabs) > 0 {
+		poolBytes -= int64(cap(poolSlabs[0]))
+		poolSlabs = append(poolSlabs[:0], poolSlabs[1:]...)
+	}
+}

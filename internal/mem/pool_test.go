@@ -1,0 +1,71 @@
+package mem
+
+import "testing"
+
+// drainPool empties the global pool so tests see a known state.
+func drainPool() {
+	poolMu.Lock()
+	poolSlabs = nil
+	poolBytes = 0
+	poolMu.Unlock()
+}
+
+func TestSlabPoolRoundTrip(t *testing.T) {
+	drainPool()
+	putSlab(make([]byte, 1<<16))
+	got := getSlab(1 << 16)
+	if got == nil || cap(got) != 1<<16 || len(got) != 1<<16 {
+		t.Fatalf("getSlab(64K) = len %d cap %d, want recycled 64K slab", len(got), cap(got))
+	}
+	if getSlab(1<<16) != nil {
+		t.Fatal("pool should be empty after the slab was taken")
+	}
+}
+
+func TestSlabPoolRejectsOversizedHandout(t *testing.T) {
+	drainPool()
+	putSlab(make([]byte, 1<<30))
+	if s := getSlab(1 << 12); s != nil {
+		t.Fatalf("a 1 GB slab must not serve a 4 KB request (cap %d)", cap(s))
+	}
+	if s := getSlab(1 << 29); s == nil {
+		t.Fatal("a 1 GB slab should serve a 512 MB request")
+	}
+}
+
+func TestSlabPoolBudgetEvictsSmallest(t *testing.T) {
+	drainPool()
+	for i := 0; i < poolMaxSlabs+4; i++ {
+		putSlab(make([]byte, 1<<12))
+	}
+	poolMu.Lock()
+	n := len(poolSlabs)
+	poolMu.Unlock()
+	if n > poolMaxSlabs {
+		t.Fatalf("pool holds %d slabs, budget is %d", n, poolMaxSlabs)
+	}
+}
+
+func TestSpaceReleaseRecyclesBacking(t *testing.T) {
+	drainPool()
+	s := NewSpace("s", Host, 1<<20)
+	b := s.Alloc(1<<14, 0)
+	FillPattern(b, 7)
+	// Grow past the first power-of-two class so a slab is retired.
+	s.Alloc(1<<16, 0)
+	s.Release()
+	poolMu.Lock()
+	n := len(poolSlabs)
+	poolMu.Unlock()
+	if n < 2 {
+		t.Fatalf("Release parked %d slabs, want current + retired", n)
+	}
+	// A new space must be able to reuse the backing without zeroing;
+	// contents are unspecified, the allocator only promises the length.
+	s2 := NewSpace("s2", Host, 1<<20)
+	b2 := s2.Alloc(1<<16, 0)
+	if got := int64(len(b2.Bytes())); got != 1<<16 {
+		t.Fatalf("recycled alloc len = %d", got)
+	}
+	s2.Release()
+}

@@ -113,6 +113,16 @@ func (n *Node) Params() Params { return n.params }
 // Host returns the node's host memory space.
 func (n *Node) Host() *mem.Space { return n.host }
 
+// Release recycles the backing storage of the node's host memory and
+// of every GPU's device memory (see mem.Space.Release). The node must
+// not be used afterwards.
+func (n *Node) Release() {
+	n.host.Release()
+	for _, d := range n.gpus {
+		d.Release()
+	}
+}
+
 // NumGPUs returns the number of GPUs.
 func (n *Node) NumGPUs() int { return len(n.gpus) }
 
