@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -17,7 +17,7 @@ race:
 # Full CI gate: build, vet, race-enabled tests (includes the
 # differential oracle, channel round-trips, golden traces, cmd smoke
 # tests and example builds), then a short fuzz smoke on both targets.
-check: trace-check
+check: trace-check chaos-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -33,10 +33,23 @@ trace-check:
 	$(GO) test ./internal/bench -run 'TestGoldenFiguresTraced|TestPingPongChromeTrace'
 	$(GO) test ./internal/trace
 
+# Chaos gate: the fault subsystem's pinned-seed conformance sweep (pack
+# ∘ unpack identity, no leaks, bounded retries across every channel),
+# the persistent-P2P downgrade proof, race-enabled PML recovery tests,
+# and the golden-figure gate re-asserting that a nil fault plan leaves
+# the virtual-time figures byte-identical.
+chaos-check:
+	$(GO) test ./internal/conformance -run 'TestChaos'
+	$(GO) test -race ./internal/mpi -run 'TestChaos'
+	$(GO) test ./internal/core -run 'TestPackerSeek'
+	$(GO) test ./internal/bench -run TestGoldenFigures
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzChaosPackUnpack -fuzztime 10s
+
 # Longer fuzzing session against the differential oracle.
 fuzz:
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzPackUnpack -fuzztime 2m
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzDEVSplit -fuzztime 2m
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzChaosPackUnpack -fuzztime 2m
 
 # Re-record golden traces after an explained behavioural change.
 golden:

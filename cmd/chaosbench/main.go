@@ -1,0 +1,208 @@
+// Command chaosbench measures how the recovery layer degrades under
+// injected faults: for each topology it sweeps the fault rate and
+// reports the achieved bandwidth and completion time of a fixed
+// non-contiguous rendezvous transfer, in simulated (virtual) time,
+// alongside the fault/retry/fallback counters that explain the slope.
+// The rate-0 row of every sweep doubles as the clean baseline — with a
+// nil plan the protocol code paths are untouched, so those figures are
+// byte-identical to the pre-fault-subsystem simulator.
+//
+// Usage:
+//
+//	chaosbench                   # JSON to stdout
+//	chaosbench -out BENCH_chaos.json
+//	chaosbench -seed 3 -count 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/fault"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/shapes"
+	"gpuddt/internal/sim"
+)
+
+// Point is one (topology, fault rate) measurement.
+type Point struct {
+	Topo          string  `json:"topo"`
+	Rate          float64 `json:"rate"`
+	Seed          uint64  `json:"seed"`
+	Bytes         int64   `json:"bytes"`
+	CompletionUs  float64 `json:"completion_us"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+	Slowdown      float64 `json:"slowdown_vs_clean"`
+	Faults        int64   `json:"faults_injected"`
+	Retries       int64   `json:"retries"`
+	LaunchRetries int64   `json:"launch_retries"`
+	Aborts        int64   `json:"protocol_aborts"`
+	Fallbacks     int64   `json:"fallbacks"`
+}
+
+// Report is the BENCH_chaos.json schema. The header mirrors
+// BENCH_host.json so downstream tooling parses both the same way.
+type Report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	GoMaxProcs  int     `json:"go_maxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Datatype    string  `json:"datatype"`
+	Count       int     `json:"count"`
+	FragBytes   int64   `json:"frag_bytes"`
+	Chaos       []Point `json:"chaos"`
+}
+
+func placements(topo string) []mpi.Placement {
+	switch topo {
+	case "1gpu":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
+	case "2gpu":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
+	case "ib":
+		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
+	default:
+		panic("chaosbench: unknown topology " + topo)
+	}
+}
+
+func span(dt *datatype.Datatype, count int) int64 {
+	return int64(count-1)*dt.Extent() + dt.TrueLB() + dt.TrueExtent()
+}
+
+func cpuPack(dt *datatype.Datatype, count int, src []byte) []byte {
+	c := datatype.NewConverter(dt, count)
+	out := make([]byte, c.Total())
+	c.Pack(out, src)
+	return out
+}
+
+// measure runs one GPU-to-GPU rendezvous transfer of (dt, count) under
+// the given fault rate and returns the receive completion time (virtual)
+// plus the recovery counters. It verifies the payload on every run: a
+// benchmark that silently corrupted data would be measuring garbage.
+func measure(topo string, dt *datatype.Datatype, count int, seed uint64, rate float64, frag int64) (Point, error) {
+	var plan *fault.Plan
+	if rate > 0 {
+		plan = fault.NewPlan(seed, rate)
+	}
+	w := mpi.NewWorld(mpi.Config{
+		Ranks:  placements(topo),
+		Proto:  mpi.ProtoOptions{EagerLimit: 1, FragBytes: frag},
+		Faults: plan,
+	})
+	rec := sim.NewRecorder(w.Engine())
+
+	var sent, got []byte
+	var elapsed sim.Time
+	w.Run(func(m *mpi.Rank) {
+		switch m.Rank() {
+		case 0:
+			buf := m.Malloc(span(dt, count))
+			mem.FillPattern(buf, 42)
+			sent = cpuPack(dt, count, buf.Bytes())
+			m.Barrier()
+			m.Send(buf, dt, count, 1, 5)
+		case 1:
+			buf := m.Malloc(span(dt, count))
+			m.Barrier()
+			t0 := m.Now()
+			m.Recv(buf, dt, count, 0, 5)
+			elapsed = m.Now() - t0
+			got = cpuPack(dt, count, buf.Bytes())
+		}
+	})
+	if !bytes.Equal(sent, got) {
+		return Point{}, fmt.Errorf("%s rate %g seed %d: payload corrupted", topo, rate, seed)
+	}
+	total := int64(len(sent))
+	return Point{
+		Topo:          topo,
+		Rate:          rate,
+		Seed:          seed,
+		Bytes:         total,
+		CompletionUs:  elapsed.Micros(),
+		BandwidthGBps: sim.GBps(total, elapsed),
+		Faults:        w.Faults().Total(),
+		Retries:       rec.Counter("mpi.retry"),
+		LaunchRetries: rec.Counter("gpu.launch.retry"),
+		Aborts:        rec.Counter("mpi.protocol.abort"),
+		Fallbacks:     rec.Counter("mpi.fallback"),
+	}, nil
+}
+
+// Run executes the command and returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("chaosbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	outPath := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	seed := fs.Uint64("seed", 1, "fault plan seed")
+	count := fs.Int("count", 8, "datatype count per transfer")
+	frag := fs.Int64("frag", 16<<10, "pipeline fragment size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *count < 1 {
+		fmt.Fprintf(errOut, "chaosbench: -count must be >= 1\n")
+		return 2
+	}
+
+	dt := shapes.SubMatrix(128, 128, 256)
+	rep := Report{
+		GeneratedBy: "cmd/chaosbench",
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Datatype:    "submatrix_128x128_ld256",
+		Count:       *count,
+		FragBytes:   *frag,
+	}
+
+	rates := []float64{0, 0.01, 0.05, 0.1, 0.2}
+	for _, topo := range []string{"1gpu", "2gpu", "ib"} {
+		var clean float64
+		for _, rate := range rates {
+			pt, err := measure(topo, dt, *count, *seed, rate, *frag)
+			if err != nil {
+				fmt.Fprintf(errOut, "chaosbench: %v\n", err)
+				return 1
+			}
+			if rate == 0 {
+				clean = pt.CompletionUs
+			}
+			if clean > 0 {
+				pt.Slowdown = pt.CompletionUs / clean
+			}
+			rep.Chaos = append(rep.Chaos, pt)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(errOut, "chaosbench: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err = out.Write(enc)
+	} else {
+		err = os.WriteFile(*outPath, enc, 0o644)
+		fmt.Fprintf(out, "chaos benchmark report written to %s\n", *outPath)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "chaosbench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-count", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("bad count: exit %d, want 2", code)
+	}
+	if code := Run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-count", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.GeneratedBy != "cmd/chaosbench" {
+		t.Fatalf("generated_by = %q", rep.GeneratedBy)
+	}
+	if len(rep.Chaos) != 15 { // 3 topologies x 5 rates
+		t.Fatalf("got %d sweep points, want 15", len(rep.Chaos))
+	}
+	for _, pt := range rep.Chaos {
+		if pt.Rate == 0 {
+			if pt.Faults != 0 {
+				t.Errorf("%s: clean run injected %d faults", pt.Topo, pt.Faults)
+			}
+			if pt.Slowdown != 1 {
+				t.Errorf("%s: clean run slowdown %g, want 1", pt.Topo, pt.Slowdown)
+			}
+		}
+		if pt.BandwidthGBps <= 0 {
+			t.Errorf("%s rate %g: non-positive bandwidth", pt.Topo, pt.Rate)
+		}
+	}
+}
+
+// TestSweepDeterministic pins the bench itself: two runs with the same
+// seed must emit byte-identical reports.
+func TestSweepDeterministic(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if code := Run([]string{"-count", "2", "-seed", "9"}, &a, &errOut); code != 0 {
+		t.Fatalf("first run: exit %d: %s", code, errOut.String())
+	}
+	if code := Run([]string{"-count", "2", "-seed", "9"}, &b, &errOut); code != 0 {
+		t.Fatalf("second run: exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different reports")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"gpuddt/internal/baseline"
 	"gpuddt/internal/datatype"
+	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/mpi"
 	"gpuddt/internal/sim"
@@ -48,7 +49,22 @@ type RTConfig struct {
 	// non-negative duration, and the top-level receive spans account for
 	// exactly the oracle's packed byte count.
 	Traced bool
+
+	// FaultRate, with FaultSeed, installs a deterministic fault plan
+	// injecting transient faults at the given per-operation rate on
+	// every site (chaos mode). The pack∘unpack identity must hold
+	// regardless: recovery may change the timeline but never the bytes.
+	FaultRate float64
+	FaultSeed uint64
+
+	// PersistentP2P marks the CUDA IPC peer-mapping site permanently
+	// faulted, forcing every SM zero-copy protocol to degrade to the
+	// staged copy-in/out fallback.
+	PersistentP2P bool
 }
+
+// chaotic reports whether the configuration installs a fault plan.
+func (c RTConfig) chaotic() bool { return c.FaultRate > 0 || c.PersistentP2P }
 
 func (c RTConfig) String() string {
 	proto := "rendezvous"
@@ -70,6 +86,12 @@ func (c RTConfig) String() string {
 	s := fmt.Sprintf("%s/%s/%s/%s/%s", c.Topo, proto, impl, place, recv)
 	if c.Traced {
 		s += "/traced"
+	}
+	if c.FaultRate > 0 {
+		s += fmt.Sprintf("/chaos@%g#%d", c.FaultRate, c.FaultSeed)
+	}
+	if c.PersistentP2P {
+		s += "/nop2p"
 	}
 	return s
 }
@@ -119,11 +141,19 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 	if cfg.MVAPICH {
 		strategy = &baseline.MVAPICHStrategy{}
 	}
+	var plan *fault.Plan
+	if cfg.chaotic() {
+		plan = fault.NewPlan(cfg.FaultSeed, cfg.FaultRate)
+		if cfg.PersistentP2P {
+			plan.Persistent[fault.IPCOpen] = true
+		}
+	}
 
 	w := mpi.NewWorld(mpi.Config{
 		Ranks:    cfg.placements(),
 		Proto:    proto,
 		Strategy: strategy,
+		Faults:   plan,
 	})
 	var rec *sim.Recorder
 	if cfg.Traced {
@@ -161,6 +191,19 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 			}
 		}
 	})
+
+	// Staging pools must be quiescent after every transfer completed:
+	// an abandoned protocol attempt that kept its scratch or ring slab
+	// would show up here as a leak.
+	for r := 0; r < w.Size(); r++ {
+		rk := w.RankHandle(r)
+		if out := rk.ScratchOutstanding(); out != 0 {
+			return tr.errf("channel "+cfg.String(), "rank %d leaked %d scratch buffers", r, out)
+		}
+		if out := rk.RingOutstanding(); out != 0 {
+			return tr.errf("channel "+cfg.String(), "rank %d leaked %d ring buffers", r, out)
+		}
+	}
 
 	if rec != nil {
 		if err := checkTimeline(rec, tr, cfg, total); err != nil {
@@ -218,6 +261,14 @@ func checkTimeline(rec *sim.Recorder, tr *Tree, cfg RTConfig, total int64) error
 	}
 	if recvBytes != total {
 		return tr.errf("channel "+cfg.String(), "trace: mpi.recv spans carry %d bytes, oracle packed %d", recvBytes, total)
+	}
+	// A permanently faulted P2P path must provably demote the SM
+	// zero-copy protocols: a rendezvous transfer whose chosen protocol
+	// would map peer memory has to record the downgrade span/counter.
+	if cfg.PersistentP2P && !cfg.ForceEager && !cfg.MVAPICH && !cfg.OnHost && cfg.Topo != "ib" {
+		if rec.Counter("mpi.fallback") == 0 {
+			return tr.errf("channel "+cfg.String(), "trace: persistent P2P fault did not trigger a zero-copy downgrade")
+		}
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// chaosConfigs is the channel sweep the chaos gate runs: every topology
+// and protocol regime the paper's pipelined strategy supports, with
+// small fragments so faults land mid-pipeline. The MVAPICH baseline is
+// deliberately absent — it predates the recovery layer and treats any
+// substrate error as fatal, which is the behaviour the fault subsystem
+// exists to fix.
+func chaosConfigs() []RTConfig {
+	var out []RTConfig
+	for _, topo := range []string{"1gpu", "2gpu", "ib"} {
+		for _, eager := range []bool{false, true} {
+			for _, host := range []bool{false, true} {
+				out = append(out, RTConfig{
+					Topo:       topo,
+					ForceEager: eager,
+					OnHost:     host,
+					FragBytes:  4 << 10,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// chaosTrees picks a handful of conformance trees that exercise the
+// rendezvous pipeline (big enough for several fragments) without
+// overlap, so both mirror and contiguous receives are legal.
+func chaosTrees(t *testing.T) []*Tree {
+	t.Helper()
+	var trees []*Tree
+	for seed := uint64(2000); len(trees) < 4 && seed < 2400; seed++ {
+		tr := NewTree(seed)
+		if tr.Total() < 8<<10 || tr.Total() > 96<<10 || HasOverlap(tr.Map) {
+			continue
+		}
+		trees = append(trees, tr)
+	}
+	if len(trees) < 4 {
+		t.Fatalf("found only %d chaos trees", len(trees))
+	}
+	return trees
+}
+
+// TestChaosRoundTrips sweeps fault seeds and rates over every channel
+// configuration and asserts the pack∘unpack identity survives: faults
+// reshape the timeline (retries, backoff, fallbacks) but never the
+// bytes, never leak a staging slab, and never deadlock the engine.
+func TestChaosRoundTrips(t *testing.T) {
+	trees := chaosTrees(t)
+	seeds := []uint64{1, 2, 3}
+	rates := []float64{0.05, 0.2}
+	if testing.Short() {
+		seeds = seeds[:1]
+		rates = rates[1:]
+	}
+	for _, base := range chaosConfigs() {
+		for _, seed := range seeds {
+			for _, rate := range rates {
+				cfg := base
+				cfg.FaultSeed = seed
+				cfg.FaultRate = rate
+				t.Run(cfg.String(), func(t *testing.T) {
+					for _, tr := range trees {
+						if err := RoundTrip(tr, cfg); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosPersistentP2PDowngrade pins the graceful-degradation path:
+// with the CUDA IPC mapping site permanently faulted, every SM
+// zero-copy rendezvous must demote itself to the staged copy-in/out
+// protocol — asserted structurally via the mpi.fallback span recorded
+// on the trace (checkTimeline), not just by the bytes arriving.
+func TestChaosPersistentP2PDowngrade(t *testing.T) {
+	trees := chaosTrees(t)
+	for _, topo := range []string{"1gpu", "2gpu"} {
+		for _, contig := range []bool{false, true} {
+			cfg := RTConfig{
+				Topo:          topo,
+				RecvContig:    contig,
+				FragBytes:     4 << 10,
+				Traced:        true,
+				PersistentP2P: true,
+			}
+			t.Run(cfg.String(), func(t *testing.T) {
+				for _, tr := range trees {
+					if err := RoundTrip(tr, cfg); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosNilPlanUntouched guards the zero-cost contract from the
+// other side: a config whose fault knobs are all zero must not install
+// a plan at all (chaotic() == false), keeping the golden virtual-time
+// figures byte-identical to the pre-fault-subsystem simulator.
+func TestChaosNilPlanUntouched(t *testing.T) {
+	if (RTConfig{Topo: "1gpu"}).chaotic() {
+		t.Fatal("zero-valued fault knobs must not install a plan")
+	}
+	if !(RTConfig{Topo: "1gpu", FaultRate: 0.01}).chaotic() {
+		t.Fatal("non-zero rate must install a plan")
+	}
+	if !(RTConfig{Topo: "1gpu", PersistentP2P: true}).chaotic() {
+		t.Fatal("persistent P2P fault must install a plan")
+	}
+}
+
+// FuzzChaosPackUnpack fuzzes the chaos dimension jointly with the
+// datatype dimension: an arbitrary tree layout crossed with an
+// arbitrary fault seed and a bounded fault rate must still satisfy the
+// pack∘unpack identity on the hardest channel (2gpu rendezvous with
+// tiny fragments). The rate is capped near 0.25 so the probability of
+// exhausting the 10-attempt retry budget stays negligible and every
+// fuzz input is expected to complete.
+func FuzzChaosPackUnpack(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint64(1), uint8(0))
+	f.Add(uint64(42), uint16(3), uint64(7), uint8(255))
+	f.Add(uint64(1234), uint16(17), uint64(99), uint8(128))
+	f.Add(uint64(77), uint16(200), uint64(3), uint8(64))
+	f.Fuzz(func(t *testing.T, seed uint64, countSel uint16, faultSeed uint64, rateSel uint8) {
+		tr := fuzzTree(seed, countSel)
+		if tr.Total() == 0 || tr.Total() > 256<<10 {
+			t.Skip()
+		}
+		cfg := RTConfig{
+			Topo:      "2gpu",
+			FragBytes: 4 << 10,
+			FaultSeed: faultSeed,
+			FaultRate: float64(rateSel) / 1024, // 0 .. ~0.25
+		}
+		// Overlapping layouts only support the contiguous receive.
+		cfg.RecvContig = HasOverlap(tr.Map)
+		if err := RoundTrip(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

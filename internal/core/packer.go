@@ -81,6 +81,18 @@ func (e *Engine) newWorker(data mem.Buffer, dt *datatype.Datatype, count int, di
 // Total returns the packed size of the message.
 func (pk *Packer) Total() int64 { return pk.conv.Total() }
 
+// SeekTo repositions the packer at packed offset pos, so a recovery
+// protocol can replay fragments after a fault without rebuilding the
+// worker (the converter seek is O(1)/O(log B), never a replay). A DEV
+// cache under construction is abandoned — replayed windows would append
+// duplicate entries — so a rewound first pass simply does not populate
+// the cache; a later transfer of the same (dt, count) will.
+func (pk *Packer) SeekTo(pos int64) {
+	pk.conv.SeekTo(pos)
+	pk.building = nil
+	pk.ci = 0
+}
+
 // Remaining returns the packed bytes not yet produced/consumed.
 func (pk *Packer) Remaining() int64 { return pk.conv.Remaining() }
 

@@ -10,6 +10,7 @@ package cuda
 import (
 	"fmt"
 
+	"gpuddt/internal/fault"
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/pcie"
@@ -62,8 +63,10 @@ func (c *Ctx) deviceOf(b mem.Buffer) int {
 }
 
 // Memcpy copies synchronously on the calling process, inferring the
-// direction from the buffer locations (cudaMemcpyDefault with UVA).
-func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) {
+// direction from the buffer locations (cudaMemcpyDefault with UVA). An
+// injected copy fault (fault.PCIeCopy) fails before any byte moves, so
+// a retry is idempotent.
+func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) error {
 	if dst.Len() != src.Len() {
 		panic("cuda: Memcpy length mismatch")
 	}
@@ -71,14 +74,17 @@ func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) {
 	sd, dd := c.deviceOf(src), c.deviceOf(dst)
 	h := p.BeginBytes("cuda.memcpy."+copyDir(sd, dd), n)
 	defer h.End()
+	if sd < 0 && dd < 0 {
+		return c.node.HostCopy(p, dst, src) // charges its own cost, probes its own fault site
+	}
+	if err := c.node.Faults().Check(p, fault.PCIeCopy, n); err != nil {
+		return err
+	}
 	ov := c.overheadFor(sd, dd)
 	switch {
-	case sd < 0 && dd < 0:
-		c.node.HostCopy(p, dst, src)
-		return // HostCopy charges its own cost and moves the bytes
 	case sd >= 0 && dd == sd:
 		c.node.GPU(sd).CopyD2D(p, dst, src)
-		return
+		return nil
 	case sd < 0:
 		p.Sleep(ov)
 		c.node.H2D(dd).Transfer(p, n)
@@ -90,6 +96,7 @@ func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Buffer) {
 		c.node.P2P(sd, dd).Transfer(p, n)
 	}
 	mem.Copy(dst, src)
+	return nil
 }
 
 // copyDir names a copy direction for the timeline (host = -1).
@@ -122,10 +129,14 @@ func (c *Ctx) overheadFor(sd, dd int) sim.Time {
 }
 
 // MemcpyAsync enqueues the copy on a stream (cudaMemcpyAsync) and returns
-// a future completing when the data has arrived.
+// a future completing when the data has arrived. Async copies do not
+// participate in fault recovery: an injected fault on this path is fatal
+// (the PML's recoverable paths all use the synchronous form).
 func (c *Ctx) MemcpyAsync(s *gpu.Stream, dst, src mem.Buffer) *sim.Future {
 	return s.Submit("memcpyAsync", func(p *sim.Proc) {
-		c.Memcpy(p, dst, src)
+		if err := c.Memcpy(p, dst, src); err != nil {
+			panic(fmt.Sprintf("cuda: MemcpyAsync: %v", err))
+		}
 	})
 }
 
@@ -134,7 +145,7 @@ func (c *Ctx) MemcpyAsync(s *gpu.Stream, dst, src mem.Buffer) *sim.Future {
 // behaviour: PCIe-crossing copies run near path peak when width is a
 // 64-byte multiple and collapse otherwise, with a per-row descriptor
 // cost; intra-device copies behave like a coalescing-limited kernel.
-func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Buffer, dpitch int64, src mem.Buffer, spitch int64, width, height int64) {
+func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Buffer, dpitch int64, src mem.Buffer, spitch int64, width, height int64) error {
 	if width > dpitch || width > spitch {
 		panic("cuda: Memcpy2D width exceeds pitch")
 	}
@@ -142,6 +153,9 @@ func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Buffer, dpitch int64, src mem.Buffer
 	n := width * height
 	h := p.BeginBytes("cuda.memcpy2d."+copyDir(sd, dd), n)
 	defer h.End()
+	if err := c.node.Faults().Check(p, fault.PCIeCopy, n); err != nil {
+		return err
+	}
 	switch {
 	case sd >= 0 && dd == sd:
 		d := c.node.GPU(sd)
@@ -174,12 +188,16 @@ func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Buffer, dpitch int64, src mem.Buffer
 		path.Transfer(p, int64(float64(n)/eff))
 	}
 	copy2D(dst, dpitch, src, spitch, width, height)
+	return nil
 }
 
-// Memcpy2DAsync is Memcpy2D on a stream.
+// Memcpy2DAsync is Memcpy2D on a stream. As with MemcpyAsync, an
+// injected fault on the async path is fatal rather than recoverable.
 func (c *Ctx) Memcpy2DAsync(s *gpu.Stream, dst mem.Buffer, dpitch int64, src mem.Buffer, spitch int64, width, height int64) *sim.Future {
 	return s.Submit("memcpy2DAsync", func(p *sim.Proc) {
-		c.Memcpy2D(p, dst, dpitch, src, spitch, width, height)
+		if err := c.Memcpy2D(p, dst, dpitch, src, spitch, width, height); err != nil {
+			panic(fmt.Sprintf("cuda: Memcpy2DAsync: %v", err))
+		}
 	})
 }
 
@@ -209,12 +227,18 @@ func (c *Ctx) IpcGetMemHandle(b mem.Buffer) IpcHandle {
 // IpcOpenMemHandle maps a peer's device allocation into this context.
 // The first open of a given allocation pays the map cost; repeat opens
 // hit the cache (the paper's one-time RDMA connection establishment).
-func (c *Ctx) IpcOpenMemHandle(p *sim.Proc, h IpcHandle) mem.Buffer {
+// An injected fault (fault.IPCOpen) fails the map — persistently when
+// the plan marks the P2P path dead, which is the signal for the PML to
+// downgrade zero-copy protocols to staged copy-in/out.
+func (c *Ctx) IpcOpenMemHandle(p *sim.Proc, h IpcHandle) (mem.Buffer, error) {
 	if h.Node != c.node.ID() {
 		panic("cuda: IPC across nodes is not possible")
 	}
 	key := ipcKey{dev: h.Dev, addr: h.Addr}
 	if !c.ipc[key] {
+		if err := c.node.Faults().Check(p, fault.IPCOpen, h.Len); err != nil {
+			return mem.Buffer{}, err
+		}
 		p.Count("ipc.map.miss", 1)
 		sp := p.BeginBytes("ipc.open", h.Len)
 		p.Sleep(c.node.Params().IPCMapCost)
@@ -223,7 +247,7 @@ func (c *Ctx) IpcOpenMemHandle(p *sim.Proc, h IpcHandle) mem.Buffer {
 	} else {
 		p.Count("ipc.map.hit", 1)
 	}
-	return c.node.GPU(h.Dev).Mem().BufferAt(h.Addr, h.Len)
+	return c.node.GPU(h.Dev).Mem().BufferAt(h.Addr, h.Len), nil
 }
 
 // LaunchPack launches kernel k on stream s of device dev with the

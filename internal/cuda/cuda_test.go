@@ -130,10 +130,10 @@ func TestIpcOpenCachesMapCost(t *testing.T) {
 	var first, second sim.Time
 	e.Spawn("peer", func(p *sim.Proc) {
 		t0 := p.Now()
-		m1 := cB.IpcOpenMemHandle(p, h)
+		m1, _ := cB.IpcOpenMemHandle(p, h)
 		first = p.Now() - t0
 		t0 = p.Now()
-		m2 := cB.IpcOpenMemHandle(p, h)
+		m2, _ := cB.IpcOpenMemHandle(p, h)
 		second = p.Now() - t0
 		if !mem.Equal(m1, buf) || !mem.Equal(m2, buf) {
 			t.Errorf("mapped buffer contents differ")

@@ -1,0 +1,353 @@
+// Package fault implements deterministic fault injection for the
+// simulated cluster. A Plan describes which sites may fail and how
+// often; an Injector evaluates the plan at runtime. Decisions are pure
+// functions of (seed, site, occurrence counter) plus the virtual clock
+// (for link-flap windows), so a run with a given plan is exactly
+// reproducible and a run with a nil plan is byte-identical to a run
+// without the subsystem: every hook is a method on a possibly-nil
+// *Injector that returns immediately.
+//
+// Faults are charged virtual time. Detecting a failure is not free on
+// real hardware — a send timeout burns the timeout, a dropped RDMA
+// completion burns the ACK window — so every injected fault sleeps its
+// site's detection latency on the victim process before the error
+// surfaces. Retry backoff (see Backoff) is likewise virtual time. This
+// keeps fault handling inside the performance model instead of beside
+// it: a chaos run's figures are the figures of a faulty machine.
+package fault
+
+import (
+	"fmt"
+
+	"gpuddt/internal/sim"
+)
+
+// Site names an injection point in the stack.
+type Site string
+
+// Injection sites. Each corresponds to one hook in internal/ib,
+// internal/pcie, internal/cuda or internal/gpu.
+const (
+	// IBSend fails message injection at the HCA (send timeout, or a
+	// link-flap window swallowing the post). Nothing is delivered.
+	IBSend Site = "ib.send"
+	// RDMAWrite fails an RDMA write. Half of the injected faults are
+	// dropped completions: the payload lands remotely but the local
+	// completion is lost (Error.Delivered reports which).
+	RDMAWrite Site = "ib.rdma.write"
+	// RDMARead fails an RDMA read, symmetric with RDMAWrite.
+	RDMARead Site = "ib.rdma.read"
+	// IBRegister fails pinning a memory region with the HCA.
+	IBRegister Site = "ib.register"
+	// IBRegEvict forces a registration-cache hit to behave as a miss
+	// (an eviction storm): no error, only the re-registration cost.
+	IBRegEvict Site = "ib.reg.evict"
+	// PCIeCopy fails a synchronous copy (cudaMemcpy/cudaMemcpy2D or a
+	// host-bus bounce copy) before any byte moves.
+	PCIeCopy Site = "pcie.copy"
+	// KernelLaunch fails a pack/unpack kernel launch. The device
+	// retries autonomously (see gpu.Device); the fault never surfaces
+	// past the stream, only its latency does.
+	KernelLaunch Site = "gpu.launch"
+	// IPCOpen fails mapping a peer process's device allocation
+	// (cudaIpcOpenMemHandle). Persistent IPCOpen faults are how a
+	// broken P2P path is modeled; the PML must downgrade to staged
+	// copy-in/out.
+	IPCOpen Site = "cuda.ipc.open"
+)
+
+// Sites lists every injection site.
+func Sites() []Site {
+	return []Site{IBSend, RDMAWrite, RDMARead, IBRegister, IBRegEvict, PCIeCopy, KernelLaunch, IPCOpen}
+}
+
+// flapSites are the wire-adjacent sites an IB link flap takes down.
+var flapSites = map[Site]bool{IBSend: true, RDMAWrite: true, RDMARead: true}
+
+// Error is an injected fault, carrying enough context to log and to
+// decide recovery. It satisfies error.
+type Error struct {
+	Site Site
+	At   sim.Time // virtual time of the decision
+	N    int64    // bytes the failed operation covered
+	Seq  uint64   // per-site occurrence number that faulted
+	// Delivered reports that the operation's payload reached memory
+	// before the completion was lost (dropped RDMA completion): the
+	// caller's retry must be idempotent, not compensating.
+	Delivered bool
+}
+
+func (e *Error) Error() string {
+	d := ""
+	if e.Delivered {
+		d = " (payload delivered, completion lost)"
+	}
+	return fmt.Sprintf("fault: injected %s failure at %v (op %d, %d bytes)%s", e.Site, e.At, e.Seq, e.N, d)
+}
+
+// WasDelivered reports whether err is an injected fault whose payload
+// landed despite the lost completion.
+func WasDelivered(err error) bool {
+	fe, ok := err.(*Error)
+	return ok && fe.Delivered
+}
+
+// Plan is the declarative fault schedule. The zero value of every field
+// is benign; NewPlan fills the conventional defaults.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed uint64
+
+	// Rates maps a site to its per-occurrence fault probability in
+	// [0, 1). Sites absent from the map never fault probabilistically.
+	Rates map[Site]float64
+
+	// Persistent marks sites that fail on every probe — hard faults
+	// (e.g. a dead P2P path) that no retry budget survives, forcing
+	// protocol degradation.
+	Persistent map[Site]bool
+
+	// FlapPeriod/FlapDuration schedule IB link flaps: within every
+	// period of virtual time, the first FlapDuration is an outage
+	// during which the wire sites (IBSend, RDMAWrite, RDMARead) fail
+	// deterministically. Zero period disables flapping. Keep the
+	// duration well under the total retry backoff span (~1.5 ms at the
+	// defaults) or senders will exhaust their budgets inside a window.
+	FlapPeriod   sim.Time
+	FlapDuration sim.Time
+
+	// DetectLatency is charged when a local fault (copy, launch, IPC
+	// map, registration) is detected. Default 2 µs.
+	DetectLatency sim.Time
+	// SendTimeout is charged when a send fault is detected. Default 25 µs.
+	SendTimeout sim.Time
+	// AckTimeout is charged when an RDMA completion is lost. Default 50 µs.
+	AckTimeout sim.Time
+
+	// MaxAttempts bounds every retry loop built on this plan (PML
+	// fragment retries, autonomous kernel relaunch). Default 10.
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the capped exponential retry
+	// backoff: base<<attempt, clamped. Defaults 2 µs / 250 µs.
+	BackoffBase sim.Time
+	BackoffCap  sim.Time
+}
+
+// NewPlan returns a plan seeded with seed that faults every transient
+// site with probability rate. Tune Rates/Persistent/Flap* afterwards.
+// The eviction-storm site gets the same rate (it is latency-only).
+func NewPlan(seed uint64, rate float64) *Plan {
+	pl := &Plan{
+		Seed:       seed,
+		Rates:      make(map[Site]float64),
+		Persistent: make(map[Site]bool),
+	}
+	for _, s := range Sites() {
+		pl.Rates[s] = rate
+	}
+	return pl
+}
+
+func (pl *Plan) withDefaults() Plan {
+	out := *pl
+	if out.DetectLatency == 0 {
+		out.DetectLatency = 2 * sim.Microsecond
+	}
+	if out.SendTimeout == 0 {
+		out.SendTimeout = 25 * sim.Microsecond
+	}
+	if out.AckTimeout == 0 {
+		out.AckTimeout = 50 * sim.Microsecond
+	}
+	if out.MaxAttempts == 0 {
+		out.MaxAttempts = 10
+	}
+	if out.BackoffBase == 0 {
+		out.BackoffBase = 2 * sim.Microsecond
+	}
+	if out.BackoffCap == 0 {
+		out.BackoffCap = 250 * sim.Microsecond
+	}
+	return out
+}
+
+// Default retry policy used when no plan is installed (the values a nil
+// *Injector reports). Shared so fault-free and faulty runs agree on the
+// budget shape.
+const defaultMaxAttempts = 10
+
+const (
+	defaultBackoffBase = 2 * sim.Microsecond
+	defaultBackoffCap  = 250 * sim.Microsecond
+)
+
+// Injector evaluates a Plan at runtime. One Injector serves a whole
+// simulated world; the engine is single-threaded so no locking is
+// needed. A nil *Injector is valid and injects nothing at zero cost.
+type Injector struct {
+	plan     Plan
+	seq      map[Site]uint64
+	injected map[Site]int64
+}
+
+// NewInjector compiles a plan. A nil plan yields a nil injector.
+func NewInjector(pl *Plan) *Injector {
+	if pl == nil {
+		return nil
+	}
+	return &Injector{
+		plan:     pl.withDefaults(),
+		seq:      make(map[Site]uint64),
+		injected: make(map[Site]int64),
+	}
+}
+
+// Enabled reports whether fault injection is active.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// MaxAttempts returns the plan's retry budget (the default when no plan
+// is installed, so retry loops are uniformly bounded).
+func (in *Injector) MaxAttempts() int {
+	if in == nil {
+		return defaultMaxAttempts
+	}
+	return in.plan.MaxAttempts
+}
+
+// Backoff returns the capped exponential backoff to sleep before retry
+// number attempt+1 (attempt counts from 0).
+func (in *Injector) Backoff(attempt int) sim.Time {
+	base, cap := defaultBackoffBase, defaultBackoffCap
+	if in != nil {
+		base, cap = in.plan.BackoffBase, in.plan.BackoffCap
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d
+}
+
+// splitmix64 is the decision hash: fast, full-period, seed-friendly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func siteHash(s Site) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// roll makes the deterministic decision for the site's next occurrence,
+// returning the occurrence number, whether it faults, and the raw hash
+// (whose spare bits pick the fault flavor).
+func (in *Injector) roll(site Site) (seq uint64, hit bool, h uint64) {
+	seq = in.seq[site]
+	in.seq[site] = seq + 1
+	if in.plan.Persistent[site] {
+		return seq, true, 0
+	}
+	rate := in.plan.Rates[site]
+	if rate <= 0 {
+		return seq, false, 0
+	}
+	h = splitmix64(in.plan.Seed ^ siteHash(site) ^ (seq * 0x9e3779b97f4a7c15))
+	return seq, float64(h>>11)/(1<<53) < rate, h
+}
+
+// flapping reports whether the wire is inside a link-flap outage window.
+func (in *Injector) flapping(site Site, now sim.Time) bool {
+	if in.plan.FlapPeriod <= 0 || !flapSites[site] {
+		return false
+	}
+	return now%in.plan.FlapPeriod < in.plan.FlapDuration
+}
+
+// detectLatency resolves the virtual-time cost of discovering a fault
+// at the given site.
+func (in *Injector) detectLatency(site Site) sim.Time {
+	switch site {
+	case IBSend:
+		return in.plan.SendTimeout
+	case RDMAWrite, RDMARead:
+		return in.plan.AckTimeout
+	default:
+		return in.plan.DetectLatency
+	}
+}
+
+// Check probes the site for its next occurrence. On a fault it charges
+// the site's detection latency on p under a "fault.inject" span, bumps
+// the "fault.<site>" counter, and returns a *Error; otherwise it
+// returns nil. Safe (and free) on a nil receiver.
+func (in *Injector) Check(p *sim.Proc, site Site, n int64) error {
+	if in == nil {
+		return nil
+	}
+	seq, hit, h := in.roll(site)
+	if !hit && !in.flapping(site, p.Now()) {
+		return nil
+	}
+	in.injected[site]++
+	p.Count("fault."+string(site), 1)
+	e := &Error{Site: site, At: p.Now(), N: n, Seq: seq}
+	// A dropped completion delivers the payload; use a spare hash bit
+	// so half the RDMA faults exercise the idempotent-replay path.
+	if (site == RDMAWrite || site == RDMARead) && h&1 == 1 {
+		e.Delivered = true
+	}
+	sp := p.BeginBytes("fault.inject", n)
+	sp.SetDetail(string(site))
+	p.Sleep(in.detectLatency(site))
+	sp.End()
+	return e
+}
+
+// Evict probes the eviction-storm site: true means the caller should
+// treat its cache hit as a miss. No error, no latency — the cost is the
+// re-registration the caller performs. Safe on a nil receiver.
+func (in *Injector) Evict(p *sim.Proc, site Site) bool {
+	if in == nil {
+		return false
+	}
+	_, hit, _ := in.roll(site)
+	if hit {
+		in.injected[site]++
+		p.Count("fault."+string(site), 1)
+	}
+	return hit
+}
+
+// Injected returns a copy of the per-site injected-fault totals.
+func (in *Injector) Injected() map[Site]int64 {
+	out := make(map[Site]int64)
+	if in == nil {
+		return out
+	}
+	for s, n := range in.injected {
+		out[s] = n
+	}
+	return out
+}
+
+// Total returns the number of faults injected so far.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	var t int64
+	for _, n := range in.injected {
+		t += n
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"testing"
+
+	"gpuddt/internal/sim"
+)
+
+// run evaluates fn on a fresh engine process and returns the end time.
+func run(t *testing.T, fn func(p *sim.Proc)) sim.Time {
+	t.Helper()
+	e := sim.NewEngine()
+	e.Spawn("t", fn)
+	e.Run()
+	return e.Now()
+}
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	end := run(t, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			if err := in.Check(p, PCIeCopy, 1024); err != nil {
+				t.Errorf("nil injector injected: %v", err)
+			}
+			if in.Evict(p, IBRegEvict) {
+				t.Error("nil injector evicted")
+			}
+		}
+	})
+	if end != 0 {
+		t.Fatalf("nil injector charged %v of virtual time", end)
+	}
+	if in.Enabled() || in.Total() != 0 {
+		t.Fatal("nil injector claims activity")
+	}
+	if in.MaxAttempts() != defaultMaxAttempts {
+		t.Fatalf("nil MaxAttempts = %d", in.MaxAttempts())
+	}
+	if in.Backoff(0) != defaultBackoffBase || in.Backoff(40) != defaultBackoffCap {
+		t.Fatalf("nil backoff schedule wrong: %v, %v", in.Backoff(0), in.Backoff(40))
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	decide := func() []bool {
+		in := NewInjector(NewPlan(42, 0.3))
+		var out []bool
+		run(t, func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				out = append(out, in.Check(p, IBSend, 64) != nil)
+			}
+		})
+		return out
+	}
+	a, b := decide(), decide()
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate 0.3 produced %d/%d faults", hits, len(a))
+	}
+	// A different seed must flip at least one decision.
+	in2 := NewInjector(NewPlan(43, 0.3))
+	diff := false
+	run(t, func(p *sim.Proc) {
+		for i := range a {
+			if (in2.Check(p, IBSend, 64) != nil) != a[i] {
+				diff = true
+			}
+		}
+	})
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestPersistentSiteAlwaysFaults(t *testing.T) {
+	pl := NewPlan(7, 0)
+	pl.Persistent[IPCOpen] = true
+	in := NewInjector(pl)
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if in.Check(p, IPCOpen, 4096) == nil {
+				t.Fatal("persistent site succeeded")
+			}
+			if in.Check(p, PCIeCopy, 4096) != nil {
+				t.Fatal("rate-0 transient site faulted")
+			}
+		}
+	})
+	if got := in.Injected()[IPCOpen]; got != 20 {
+		t.Fatalf("injected[IPCOpen] = %d, want 20", got)
+	}
+}
+
+func TestDetectionLatencyCharged(t *testing.T) {
+	pl := NewPlan(1, 0)
+	pl.Persistent[IBSend] = true
+	in := NewInjector(pl)
+	end := run(t, func(p *sim.Proc) {
+		if err := in.Check(p, IBSend, 64); err == nil {
+			t.Fatal("expected fault")
+		}
+	})
+	if end != 25*sim.Microsecond {
+		t.Fatalf("send timeout charged %v, want 25µs", end)
+	}
+}
+
+func TestLinkFlapWindow(t *testing.T) {
+	pl := NewPlan(1, 0)
+	pl.FlapPeriod = 100 * sim.Microsecond
+	pl.FlapDuration = 10 * sim.Microsecond
+	in := NewInjector(pl)
+	run(t, func(p *sim.Proc) {
+		if err := in.Check(p, IBSend, 64); err == nil {
+			t.Fatal("send inside flap window succeeded")
+		}
+		// Check charged the send timeout (25µs), escaping the window.
+		if err := in.Check(p, IBSend, 64); err != nil {
+			t.Fatalf("send outside flap window failed: %v", err)
+		}
+		// Flaps only hit wire sites.
+		p.Sleep(75 * sim.Microsecond) // back inside the next window
+		if err := in.Check(p, PCIeCopy, 64); err != nil {
+			t.Fatalf("flap window hit a non-wire site: %v", err)
+		}
+	})
+}
+
+func TestDroppedCompletionFlavor(t *testing.T) {
+	in := NewInjector(NewPlan(5, 0.5))
+	var delivered, dropped int
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 400; i++ {
+			if err := in.Check(p, RDMAWrite, 1<<20); err != nil {
+				if WasDelivered(err) {
+					delivered++
+				} else {
+					dropped++
+				}
+			}
+		}
+	})
+	if delivered == 0 || dropped == 0 {
+		t.Fatalf("RDMA fault flavors unbalanced: delivered=%d dropped=%d", delivered, dropped)
+	}
+	if WasDelivered(nil) {
+		t.Fatal("WasDelivered(nil)")
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	in := NewInjector(NewPlan(1, 0))
+	prev := sim.Time(0)
+	for a := 0; a < 12; a++ {
+		d := in.Backoff(a)
+		if d < prev {
+			t.Fatalf("backoff not monotone at attempt %d: %v < %v", a, d, prev)
+		}
+		if d > 250*sim.Microsecond {
+			t.Fatalf("backoff exceeds cap: %v", d)
+		}
+		prev = d
+	}
+}

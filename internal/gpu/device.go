@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/sim"
 )
@@ -24,6 +25,7 @@ type Device struct {
 	blockCap   int     // kernel grid cap (0 = no cap beyond DefaultBlocks)
 	bgBlocks   int     // CUDA blocks held by a background application (§5.4)
 	bgDRAMFrac float64 // DRAM fraction consumed by the background app
+	faults     *fault.Injector
 
 	kernelsRun int64
 	rawMoved   int64
@@ -72,6 +74,33 @@ func (d *Device) DDTCache() interface{} { return d.ddtCache }
 
 // SetDDTCache attaches the device-wide datatype-engine cache.
 func (d *Device) SetDDTCache(v interface{}) { d.ddtCache = v }
+
+// SetFaults installs a fault injector; kernel launches may then fail
+// and be retried autonomously (see launchGate). Nil disables injection.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
+
+// launchGate models the driver's launch attempt under fault injection:
+// an injected launch failure is retried on the stream with capped
+// exponential backoff — recovery is autonomous, without host-side help,
+// as in NIC-offloaded designs — so only its latency, never the error,
+// escapes the device. Each attempt charges the launch overhead; the
+// return means the kernel is running. Exhausting the budget is fatal:
+// at any transient rate the probability is negligible, and a persistent
+// launch fault means the device itself is gone.
+func (d *Device) launchGate(p *sim.Proc, bytes int64) {
+	for attempt := 0; ; attempt++ {
+		p.Sleep(d.p.KernelLaunch)
+		err := d.faults.Check(p, fault.KernelLaunch, bytes)
+		if err == nil {
+			return
+		}
+		if attempt+1 >= d.faults.MaxAttempts() {
+			panic(fmt.Sprintf("gpu%d: kernel launch failed after %d attempts: %v", d.id, attempt+1, err))
+		}
+		p.Count("gpu.launch.retry", 1)
+		p.Sleep(d.faults.Backoff(attempt))
+	}
+}
 
 // SetBlockCap restricts pack/unpack kernels to at most n CUDA blocks
 // (the §5.3 "minimal resources" experiment). n <= 0 removes the cap.

@@ -127,7 +127,7 @@ func (d *Device) Launch(s *Stream, k *Kernel) *sim.Future {
 	raw := d.rawBytes(k)
 	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
 	return s.SubmitN("kernel."+k.Kind.String(), k.Bytes(), func(p *sim.Proc) {
-		p.Sleep(d.p.KernelLaunch)
+		d.launchGate(p, k.Bytes())
 		d.chargeDRAM(p, raw, rate)
 		k.run()
 		d.kernelsRun++
@@ -148,7 +148,7 @@ func (d *Device) LaunchZeroCopy(s *Stream, k *Kernel, link *sim.Link, wireBytes 
 	rate := d.kernelRawRate(d.availableBlocks(k.Blocks)) * d.kernelEff(k.Kind)
 	n := wireBytes
 	return s.SubmitN("kernel.zerocopy."+k.Kind.String(), k.Bytes(), func(p *sim.Proc) {
-		p.Sleep(d.p.KernelLaunch)
+		d.launchGate(p, k.Bytes())
 		hold := sim.TimeForBytes(raw, rate)
 		if wire := link.OccupancyFor(n); wire > hold {
 			hold = wire
@@ -167,7 +167,7 @@ func (d *Device) LaunchZeroCopy(s *Stream, k *Kernel, link *sim.Link, wireBytes 
 func (d *Device) Compute(s *Stream, raw int64, blocks int) *sim.Future {
 	rate := d.kernelRawRate(d.availableBlocks(blocks))
 	return s.Submit("kernel.compute", func(p *sim.Proc) {
-		p.Sleep(d.p.KernelLaunch)
+		d.launchGate(p, raw)
 		d.chargeDRAM(p, raw, rate)
 		d.kernelsRun++
 	})

@@ -9,6 +9,7 @@ package ib
 import (
 	"fmt"
 
+	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/pcie"
 	"gpuddt/internal/sim"
@@ -54,7 +55,12 @@ type Fabric struct {
 	eng    *sim.Engine
 	params Params
 	hcas   []*HCA
+	faults *fault.Injector
 }
+
+// SetFaults installs a fault injector on the fabric. A nil injector
+// (the default) makes every operation infallible, as before.
+func (f *Fabric) SetFaults(in *fault.Injector) { f.faults = in }
 
 // NewFabric creates an empty fabric.
 func NewFabric(eng *sim.Engine, p Params) *Fabric {
@@ -100,18 +106,27 @@ func (h *HCA) Node() *pcie.Node { return h.node }
 func (h *HCA) Inbox() *sim.Mailbox { return h.inbox }
 
 // Register pins a memory region with the HCA, charging the registration
-// cost on first use of the region (cached afterwards).
-func (h *HCA) Register(p *sim.Proc, b mem.Buffer) {
+// cost on first use of the region (cached afterwards). A fault plan can
+// fail the registration outright, or force a cache hit to re-register
+// (an eviction storm — a latency fault, never an error).
+func (h *HCA) Register(p *sim.Proc, b mem.Buffer) error {
 	key := regKey{space: b.Space(), addr: b.Addr()}
-	if !h.regs[key] {
-		p.Count("ib.reg.miss", 1)
-		sp := p.BeginBytes("ib.register", b.Len())
-		p.Sleep(h.f.params.RegCost)
-		sp.End()
-		h.regs[key] = true
-	} else {
-		p.Count("ib.reg.hit", 1)
+	if h.regs[key] {
+		if !h.f.faults.Evict(p, fault.IBRegEvict) {
+			p.Count("ib.reg.hit", 1)
+			return nil
+		}
+		delete(h.regs, key) // storm: the pinned region was evicted
 	}
+	if err := h.f.faults.Check(p, fault.IBRegister, b.Len()); err != nil {
+		return err
+	}
+	p.Count("ib.reg.miss", 1)
+	sp := p.BeginBytes("ib.register", b.Len())
+	p.Sleep(h.f.params.RegCost)
+	sp.End()
+	h.regs[key] = true
+	return nil
 }
 
 // pathTo returns the store-and-forward path to a peer HCA.
@@ -125,41 +140,65 @@ func (h *HCA) pathTo(peer *HCA) *sim.Path {
 // Send transmits a message of n wire bytes carrying payload to peer,
 // blocking the caller until injection and delivering the payload to the
 // peer's inbox after the wire time. Messages between a pair of HCAs are
-// delivered in order (the links are FIFO).
-func (h *HCA) Send(p *sim.Proc, peer *HCA, n int64, payload interface{}) {
+// delivered in order (the links are FIFO). An injected send fault (a
+// timeout or a link-flap outage) delivers nothing.
+func (h *HCA) Send(p *sim.Proc, peer *HCA, n int64, payload interface{}) error {
 	sp := p.BeginBytes("ib.send", n)
+	defer sp.End()
 	p.Sleep(h.f.params.PerMsgOverhead)
+	if err := h.f.faults.Check(p, fault.IBSend, n); err != nil {
+		return err
+	}
 	h.pathTo(peer).Occupy(p, n)
 	peer.inbox.PutAfter(h.f.params.Latency, payload)
-	sp.End()
+	return nil
 }
 
 // Write performs an RDMA write of src (local, registered) into dst
 // (remote, registered), blocking until remote completion. Data lands in
-// the remote buffer's real bytes.
-func (h *HCA) Write(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
+// the remote buffer's real bytes. An injected fault either loses the
+// operation before any byte moves, or — the dropped-completion flavor —
+// lands the payload and loses only the completion, so the caller's
+// retry must be idempotent (it is: the write targets the same bytes).
+func (h *HCA) Write(p *sim.Proc, peer *HCA, dst, src mem.Buffer) error {
 	if dst.Len() != src.Len() {
 		panic("ib: RDMA write length mismatch")
 	}
 	sp := p.BeginBytes("rdma.write", src.Len())
+	defer sp.End()
 	p.Sleep(h.f.params.PerMsgOverhead)
+	if err := h.f.faults.Check(p, fault.RDMAWrite, src.Len()); err != nil {
+		if fault.WasDelivered(err) {
+			h.pathTo(peer).Transfer(p, h.wireBytes(src))
+			mem.Copy(dst, src)
+		}
+		return err
+	}
 	h.pathTo(peer).Transfer(p, h.wireBytes(src))
 	mem.Copy(dst, src)
-	sp.End()
+	return nil
 }
 
 // Read performs an RDMA read of src (remote, registered) into dst
 // (local), blocking until the data has arrived. A read costs one extra
-// round-trip latency for the request.
-func (h *HCA) Read(p *sim.Proc, peer *HCA, dst, src mem.Buffer) {
+// round-trip latency for the request. Fault semantics mirror Write.
+func (h *HCA) Read(p *sim.Proc, peer *HCA, dst, src mem.Buffer) error {
 	if dst.Len() != src.Len() {
 		panic("ib: RDMA read length mismatch")
 	}
 	sp := p.BeginBytes("rdma.read", src.Len())
+	defer sp.End()
 	p.Sleep(h.f.params.PerMsgOverhead + h.f.params.Latency)
+	if err := h.f.faults.Check(p, fault.RDMARead, src.Len()); err != nil {
+		if fault.WasDelivered(err) {
+			peer.pathTo(h).Transfer(p, peer.wireBytes(src))
+			mem.Copy(dst, src)
+		}
+		return err
+	}
 	peer.pathTo(h).Transfer(p, peer.wireBytes(src))
 	mem.Copy(dst, src)
-	sp.End()
+	return nil
 }
 
 // wireBytes inflates the transfer size when src or dst is GPU memory and

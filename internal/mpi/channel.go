@@ -78,27 +78,43 @@ func (c *Channel) SameDevice() bool {
 
 // AM sends an active message of wireBytes whose callback fn executes on
 // the destination rank's progress process, in order with other AMs on
-// this channel.
+// this channel. Control messages must get through for any protocol to
+// make progress, so an injected send fault (timeout, link flap) is
+// retried with backoff and exhaustion is fatal.
 func (c *Channel) AM(p *sim.Proc, wireBytes int64, fn func(p *sim.Proc)) {
 	switch c.kind {
 	case SM:
 		// Shared-memory FIFO: fixed injection cost, tiny latency.
 		c.dst.inbox.PutAfter(c.w.cfg.Proto.AMLatency, amsg{fn: fn})
 	default:
-		c.srcHCA.Send(p, c.dstHCA, wireBytes, routed{dst: c.dst, am: amsg{fn: fn}})
+		c.src.mustRetry(p, "am.send", func() error {
+			return c.srcHCA.Send(p, c.dstHCA, wireBytes, routed{dst: c.dst, am: amsg{fn: fn}})
+		})
 	}
 }
 
 // Put transfers payload bytes from a sender-side host buffer into a
 // receiver-side host buffer (RDMA write for IB; a shared-memory copy via
 // the host bus for SM), blocking the caller until remote completion.
+// Injected faults — failed registrations, send timeouts, dropped RDMA
+// completions — are retried with backoff. The retry is idempotent: a
+// lost operation moved no bytes, and a dropped completion landed the
+// payload in the same bytes the retransmission writes again.
 func (c *Channel) Put(p *sim.Proc, dst, src mem.Buffer) {
 	switch c.kind {
 	case SM:
-		c.src.ctx.Node().HostCopy(p, dst, src)
+		c.src.mustRetry(p, "put.copy", func() error {
+			return c.src.ctx.Node().HostCopy(p, dst, src)
+		})
 	default:
-		c.srcHCA.Register(p, src)
-		c.dstHCA.Register(p, dst)
-		c.srcHCA.Write(p, c.dstHCA, dst, src)
+		c.src.mustRetry(p, "put.register", func() error {
+			return c.srcHCA.Register(p, src)
+		})
+		c.src.mustRetry(p, "put.register", func() error {
+			return c.dstHCA.Register(p, dst)
+		})
+		c.src.mustRetry(p, "put.rdma", func() error {
+			return c.srcHCA.Write(p, c.dstHCA, dst, src)
+		})
 	}
 }

@@ -15,6 +15,14 @@ import (
 // (CUDA IPC, fragment ring, ACK-based slot reuse, handshake fast paths
 // for contiguous endpoints) and a pipelined copy-in/out protocol over
 // the InfiniBand BTL (zero-copy host staging on both sides).
+//
+// Under fault injection the receiver-driven design doubles as the
+// recovery protocol: transient faults are retried per fragment with
+// backoff, and when a peer-access (CUDA IPC) fault persists, the
+// receiver cancels the zero-copy attempt and re-commands the sender to
+// run the staged copy-in/out protocol over the same channel — the
+// degradation path real GPU-aware MPI stacks take when P2P mappings
+// are unavailable.
 type PipelinedStrategy struct{}
 
 // Name implements Strategy.
@@ -24,7 +32,7 @@ func (s *PipelinedStrategy) Name() string { return "pipelined" }
 // uses to pick a transfer plan (§4.1).
 type rendInfo struct {
 	op *SendOp
-	st *senderState // nil when the sender has nothing to do (SM contiguous)
+	st *senderState
 
 	// contig is the sender's packed data window when the send datatype
 	// is contiguous; over SM the receiver consumes it in place.
@@ -33,16 +41,25 @@ type rendInfo struct {
 }
 
 // senderState is the sender half of a rendezvous transfer, driven by
-// commands from the receiver.
+// commands from the receiver. The worker process runs one command per
+// protocol attempt and exits when an attempt completes; an aborted
+// attempt loops back for the receiver's fallback command. On the SM
+// contiguous fast path the worker is not spawned at all unless the
+// receiver's zero-copy attempt fails and it commands a staged send.
 type senderState struct {
-	op   *SendOp
-	cmds *sim.Mailbox // the receiver's transfer-plan command
-	acks *sim.Mailbox // freed slot indices (ACK flow control)
+	op      *SendOp
+	cmds    *sim.Mailbox
+	spawned bool
+	prod    *fragProducer // reused (rewound) across protocol attempts
 }
 
-// Receiver-to-sender commands.
+// Receiver-to-sender commands. Each command that needs ACK flow control
+// carries its own acks mailbox, so an aborted attempt's stale ACKs (in
+// flight or preloaded) land in a mailbox no longer read by anyone
+// instead of corrupting the next attempt's slot accounting.
 type cmdPackToRing struct {
 	events *sim.Mailbox // receiver's fragment-event queue
+	acks   *sim.Mailbox // freed slot indices; abortMsg cancels
 }
 type cmdPackDirect struct {
 	dst    cuda.IpcHandle // receiver's contiguous region (device)
@@ -50,13 +67,36 @@ type cmdPackDirect struct {
 	isDev  bool
 	events *sim.Mailbox
 }
-type cmdSendIB struct {
-	ring   []mem.Buffer // receiver host ring slots (RDMA targets)
+type cmdSendStaged struct {
+	ring   []mem.Buffer // receiver host ring slots (Put targets)
 	direct mem.Buffer   // receiver contiguous host window (skip ring)
 	events *sim.Mailbox
+	acks   *sim.Mailbox
 }
 
-// fragEvt is a sender-to-receiver fragment notification.
+// abortMsg, put into a command's acks mailbox by the receiver, cancels
+// the protocol attempt: the sender worker unwinds and awaits the
+// fallback command. It is delivered through the ACK stream because that
+// is where an in-progress sender provably blocks: the receiver aborts
+// only before acknowledging the fragment it failed on, so the sender is
+// short at least one ACK and must consume the abort.
+type abortMsg struct{}
+
+// getAck returns the next freed slot index, or ok=false on abortMsg.
+func getAck(p *sim.Proc, acks *sim.Mailbox) (int, bool) {
+	switch v := acks.Get(p).(type) {
+	case abortMsg:
+		return 0, false
+	case int:
+		return v, true
+	default:
+		panic(fmt.Sprintf("mpi: unexpected ack %T", v))
+	}
+}
+
+// fragEvt is a sender-to-receiver fragment notification. failed reports
+// that the sender could not run the commanded protocol (a persistent
+// peer-access fault); the receiver falls back to a staged command.
 type fragEvt struct {
 	slot    int
 	off, n  int64
@@ -64,6 +104,7 @@ type fragEvt struct {
 	ringIPC cuda.IpcHandle // SM ring (device)
 	ringDev bool
 	last    bool
+	failed  bool
 }
 
 // contigWindow returns the packed window of (buf, dt, count) when the
@@ -90,37 +131,71 @@ func (m *Rank) engineFor(b mem.Buffer) *core.Engine {
 }
 
 // StartSend implements Strategy: publish handshake info and, unless the
-// SM contiguous fast path applies, start a command-driven sender process.
+// SM contiguous fast path applies, start the command-driven sender
+// worker. The fast path leaves the worker unspawned — §4.1: "if the
+// sender datatype is contiguous, the receiver can use the sender buffer
+// directly", no sender-side work at all — but still publishes the
+// command mailbox so the receiver can demote to a staged send if its
+// IPC mapping of the window fails.
 func (s *PipelinedStrategy) StartSend(op *SendOp) interface{} {
 	ri := &rendInfo{op: op}
+	ri.st = &senderState{
+		op:   op,
+		cmds: op.M.w.eng.NewMailbox(fmt.Sprintf("rank%d.sendcmds", op.M.rank)),
+	}
 	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && op.Ch.Kind() == SM {
-		// §4.1: "if the sender datatype is contiguous, the receiver can
-		// use the sender buffer directly" — no sender-side work at all.
 		ri.contig = w
 		if w.Kind() == mem.Device {
 			ri.contigIPC = op.M.ctx.IpcGetMemHandle(w)
 		}
 		return ri
 	}
-	st := &senderState{
-		op:   op,
-		cmds: op.M.w.eng.NewMailbox(fmt.Sprintf("rank%d.sendcmds", op.M.rank)),
-		acks: op.M.w.eng.NewMailbox(fmt.Sprintf("rank%d.sendacks", op.M.rank)),
+	ri.st.start(op.M.w.eng)
+	return ri
+}
+
+// start spawns the sender worker once; receivers call it from their
+// command AMs (running on the sender's progress process) so the lazy
+// fast-path sender only materializes when a fallback needs it.
+func (st *senderState) start(eng *sim.Engine) {
+	if st.spawned {
+		return
 	}
-	ri.st = st
-	op.M.w.eng.Spawn(fmt.Sprintf("rank%d.sendpipe", op.M.rank), func(p *sim.Proc) {
-		switch cmd := st.cmds.Get(p).(type) {
-		case cmdPackToRing:
-			st.runPackToRing(p, cmd)
-		case cmdPackDirect:
-			st.runPackDirect(p, cmd)
-		case cmdSendIB:
-			st.runSendIB(p, cmd)
-		default:
-			panic(fmt.Sprintf("mpi: unexpected sender command %T", cmd))
+	st.spawned = true
+	eng.Spawn(fmt.Sprintf("rank%d.sendpipe", st.op.M.rank), func(p *sim.Proc) {
+		for {
+			var ok bool
+			switch cmd := st.cmds.Get(p).(type) {
+			case cmdPackToRing:
+				ok = st.runPackToRing(p, cmd)
+			case cmdPackDirect:
+				ok = st.runPackDirect(p, cmd)
+			case cmdSendStaged:
+				ok = st.runSendStaged(p, cmd)
+			default:
+				panic(fmt.Sprintf("mpi: unexpected sender command %T", cmd))
+			}
+			if ok {
+				st.op.Req.done.Complete(nil)
+				return
+			}
+			// Aborted. The receiver cancels an attempt only en route to
+			// issuing a fallback command, so waiting here cannot deadlock.
+			p.Count("mpi.protocol.abort", 1)
 		}
 	})
-	return ri
+}
+
+// producer returns the sender's fragment producer, rewound to packed
+// offset zero: a fallback attempt replays the whole message through the
+// same compiled plan (Packer.SeekTo) rather than rebuilding the worker.
+func (st *senderState) producer() *fragProducer {
+	if st.prod == nil {
+		st.prod = st.op.M.newProducer(st.op.Buf, st.op.Dt, st.op.Count)
+	} else {
+		st.prod.seekTo(0)
+	}
+	return st.prod
 }
 
 // notifyFrag sends the fragment AM to the receiver.
@@ -143,8 +218,9 @@ func fragPlan(total, frag int64) []int64 {
 
 // runPackToRing is the SM sender of the pipelined RDMA protocol: pack
 // fragments into a ring exposed over CUDA IPC, reusing slots as ACKs
-// arrive (§4.1, Fig. 4).
-func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
+// arrive (§4.1, Fig. 4). Returns false if the receiver aborted the
+// attempt (it could not map the ring).
+func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) bool {
 	op := st.op
 	m := op.M
 	h := p.BeginBytes("mpi.send.ring", op.Packed)
@@ -160,17 +236,21 @@ func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
 	} else {
 		ring = m.ringBuf(m.ctx.Node().Host(), frag*int64(depth))
 	}
-	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+	prod := st.producer()
 
-	// st.acks doubles as the free-slot queue: preloaded with every slot,
+	// cmd.acks doubles as the free-slot queue: preloaded with every slot,
 	// refilled by the receiver's ACK active messages.
 	for i := 0; i < depth; i++ {
-		st.acks.Put(i)
+		cmd.acks.Put(i)
 	}
 	frags := fragPlan(op.Packed, frag)
 	var off int64
 	for i, n := range frags {
-		slot := st.acks.Get(p).(int)
+		slot, ok := getAck(p, cmd.acks)
+		if !ok {
+			m.releaseRing(ring)
+			return false
+		}
 		fh := p.BeginBytes("frag.pack", n)
 		prod.packInto(p, ring.Slice(int64(slot)*frag, n))
 		fh.End()
@@ -189,26 +269,36 @@ func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) {
 	}
 	// Wait until every slot has come home before reusing the ring.
 	for i := 0; i < depth; i++ {
-		st.acks.Get(p)
+		if _, ok := getAck(p, cmd.acks); !ok {
+			m.releaseRing(ring)
+			return false
+		}
 	}
 	m.releaseRing(ring)
-	op.Req.done.Complete(nil)
+	return true
 }
 
 // runPackDirect is the SM fast path when the receiver datatype is
 // contiguous: the sender packs straight into the receiver's memory
 // (same GPU: plain kernels; peer GPU: IPC-mapped zero-copy writes over
-// PCIe; host: UMA zero copy) — no unpack, no staging (§4.1).
-func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
+// PCIe; host: UMA zero copy) — no unpack, no staging (§4.1). Returns
+// false if the receiver's window cannot be mapped (persistent IPC
+// fault); the failure event tells the receiver to fall back.
+func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) bool {
 	op := st.op
 	m := op.M
 	h := p.BeginBytes("mpi.send.direct", op.Packed)
 	defer h.End()
 	dst := cmd.dstBuf
 	if cmd.isDev {
-		dst = m.ctx.IpcOpenMemHandle(p, cmd.dst)
+		mapped, err := m.openIPC(p, cmd.dst)
+		if err != nil {
+			st.notifyFrag(p, cmd.events, fragEvt{failed: true})
+			return false
+		}
+		dst = mapped
 	}
-	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+	prod := st.producer()
 	frag := m.w.cfg.Proto.FragBytes
 	var off int64
 	for _, n := range fragPlan(op.Packed, frag) {
@@ -219,14 +309,18 @@ func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) {
 		off += n
 	}
 	st.notifyFrag(p, cmd.events, fragEvt{off: 0, n: op.Packed, last: true})
-	op.Req.done.Complete(nil)
+	return true
 }
 
-// runSendIB is the copy-in/out sender (§4.2): pack fragments into pinned
-// host memory with zero-copy kernels, RDMA them to the receiver's host
-// ring (or straight into a contiguous host receive buffer), overlapping
-// packing with wire transfer via a producer process.
-func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
+// runSendStaged is the copy-in/out sender (§4.2): pack fragments into
+// pinned host memory with zero-copy kernels, Put them into the
+// receiver's host ring (RDMA over IB, a host copy over SM) — or
+// straight into a contiguous host receive buffer — overlapping packing
+// with wire transfer via a producer process. It is both the regular IB
+// protocol and the fallback every SM zero-copy protocol degrades to,
+// which is why it never aborts: there is nothing further to fall back
+// to, so unrecoverable faults here are fatal (inside Channel.Put).
+func (st *senderState) runSendStaged(p *sim.Proc, cmd cmdSendStaged) bool {
 	op := st.op
 	m := op.M
 	h := p.BeginBytes("mpi.send.ib", op.Packed)
@@ -235,21 +329,20 @@ func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
 	frag := proto.FragBytes
 	frags := fragPlan(op.Packed, frag)
 
-	// Host-contiguous data needs no staging: RDMA from the user buffer.
+	// Host-contiguous data needs no staging: Put from the user buffer.
 	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && w.Kind() == mem.Host {
 		var off int64
 		for i, n := range frags {
-			st.sendIBFrag(p, cmd, i, off, n, w.Slice(off, n))
+			st.sendStagedFrag(p, cmd, i, off, n, w.Slice(off, n))
 			off += n
 		}
-		op.Req.done.Complete(nil)
-		return
+		return true
 	}
 
 	// Producer fills local host staging slots; this process drains them
-	// onto the wire, so pack(i+1) overlaps RDMA(i).
+	// onto the wire, so pack(i+1) overlaps transfer(i).
 	local := m.ringBuf(m.ctx.Node().Host(), 2*frag)
-	prod := m.newProducer(op.Buf, op.Dt, op.Count)
+	prod := st.producer()
 	type filledSlot struct {
 		ls int
 		n  int64
@@ -271,18 +364,17 @@ func (st *senderState) runSendIB(p *sim.Proc, cmd cmdSendIB) {
 	var off int64
 	for i := range frags {
 		f := filled.Get(p).(filledSlot)
-		st.sendIBFrag(p, cmd, i, off, f.n, local.Slice(int64(f.ls)*frag, f.n))
+		st.sendStagedFrag(p, cmd, i, off, f.n, local.Slice(int64(f.ls)*frag, f.n))
 		freeLocal.Put(f.ls)
 		off += f.n
 	}
 	m.releaseRing(local)
-	op.Req.done.Complete(nil)
+	return true
 }
 
-// sendIBFrag RDMA-writes one packed fragment and notifies the receiver.
+// sendStagedFrag Puts one packed fragment and notifies the receiver.
 // Ring mode waits for the target slot's ACK window.
-func (st *senderState) sendIBFrag(p *sim.Proc, cmd cmdSendIB, i int, off, n int64, src mem.Buffer) {
-	m := st.op.M
+func (st *senderState) sendStagedFrag(p *sim.Proc, cmd cmdSendStaged, i int, off, n int64, src mem.Buffer) {
 	if cmd.direct.IsValid() {
 		st.op.Ch.Put(p, cmd.direct.Slice(off, n), src)
 		st.notifyFrag(p, cmd.events, fragEvt{slot: -1, off: off, n: n, last: off+n == st.op.Packed})
@@ -291,17 +383,17 @@ func (st *senderState) sendIBFrag(p *sim.Proc, cmd cmdSendIB, i int, off, n int6
 	depth := len(cmd.ring)
 	slot := i % depth
 	if i >= depth {
-		st.acks.Get(p) // wait for the ACK freeing a slot (in order)
+		if _, ok := getAck(p, cmd.acks); !ok {
+			panic("mpi: staged protocol aborted — no further fallback exists")
+		}
 	}
 	st.op.Ch.Put(p, cmd.ring[slot].Slice(0, n), src)
 	st.notifyFrag(p, cmd.events, fragEvt{slot: slot, off: off, n: n, last: off+n == st.op.Packed})
-	_ = m
 }
 
 // RunRecv implements Strategy: the receiver-driven side.
 func (s *PipelinedStrategy) RunRecv(p *sim.Proc, op *RecvOp, info interface{}) {
 	ri := info.(*rendInfo)
-	m := op.M
 	if op.Ch.Kind() == SM {
 		if ri.contig.IsValid() {
 			s.recvFromSenderWindow(p, op, ri)
@@ -314,21 +406,44 @@ func (s *PipelinedStrategy) RunRecv(p *sim.Proc, op *RecvOp, info interface{}) {
 		s.recvFromRing(p, op, ri)
 		return
 	}
-	s.recvIB(p, op, ri)
-	_ = m
+	s.recvStaged(p, op, ri)
+}
+
+// fallbackStaged downgrades a zero-copy SM protocol to the pipelined
+// copy-in/out protocol after a persistent peer-access fault: the sender
+// is (re-)commanded to pack through host staging and Put fragments into
+// the receiver's host memory — exactly the IB protocol, run over the
+// shared-memory BTL. The downgrade is marked on the timeline so tests
+// (and operators) can assert it happened.
+func (s *PipelinedStrategy) fallbackStaged(p *sim.Proc, op *RecvOp, ri *rendInfo) {
+	h := p.Begin("mpi.fallback")
+	h.SetDetail("zero-copy->copy-in/out")
+	h.End()
+	p.Count("mpi.fallback", 1)
+	s.recvStaged(p, op, ri)
 }
 
 // recvFromSenderWindow consumes the sender's contiguous data in place
 // (SM): a single copy when the receiver is contiguous too, otherwise
-// fragment-wise unpacking with optional local staging.
+// fragment-wise unpacking with optional local staging. If the sender's
+// device window cannot be IPC-mapped, the receiver falls back to
+// commanding a staged send (the fast-path sender has no worker running
+// yet, so nothing needs to be aborted).
 func (s *PipelinedStrategy) recvFromSenderWindow(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	m := op.M
 	src := ri.contig
 	if src.Kind() == mem.Device {
-		src = m.ctx.IpcOpenMemHandle(p, ri.contigIPC) // map cost (cached)
+		mapped, err := m.openIPC(p, ri.contigIPC) // map cost (cached)
+		if err != nil {
+			s.fallbackStaged(p, op, ri)
+			return
+		}
+		src = mapped
 	}
 	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok {
-		m.ctx.Memcpy(p, w.Slice(0, op.Packed), src)
+		m.mustRetry(p, "frag.copy", func() error {
+			return m.ctx.Memcpy(p, w.Slice(0, op.Packed), src)
+		})
 	} else {
 		fc := m.newConsumer(op)
 		var off int64
@@ -344,7 +459,8 @@ func (s *PipelinedStrategy) recvFromSenderWindow(p *sim.Proc, op *RecvOp, ri *re
 }
 
 // recvPackDirect tells the sender to pack straight into the receiver's
-// contiguous buffer and waits for completion.
+// contiguous buffer and waits for completion. A failure event (the
+// sender could not map our window) triggers the staged fallback.
 func (s *PipelinedStrategy) recvPackDirect(p *sim.Proc, op *RecvOp, ri *rendInfo, w mem.Buffer) {
 	m := op.M
 	events := m.w.eng.NewMailbox("recv.direct")
@@ -357,23 +473,31 @@ func (s *PipelinedStrategy) recvPackDirect(p *sim.Proc, op *RecvOp, ri *rendInfo
 	}
 	st := ri.st
 	ch := p.Begin("mpi.cts")
-	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.start(m.w.eng); st.cmds.Put(cmd) })
 	ch.End()
 	for {
-		if events.Get(p).(fragEvt).last {
+		ev := events.Get(p).(fragEvt)
+		if ev.failed {
+			s.fallbackStaged(p, op, ri)
+			return
+		}
+		if ev.last {
 			break
 		}
 	}
 	op.Req.done.Complete(nil)
 }
 
-// recvFromRing is the receiver of the SM pipelined RDMA protocol.
+// recvFromRing is the receiver of the SM pipelined RDMA protocol. If
+// the sender's device ring cannot be IPC-mapped, the attempt is aborted
+// through the ACK stream and the transfer falls back to staging.
 func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	m := op.M
 	events := m.w.eng.NewMailbox("recv.ring")
+	acks := m.w.eng.NewMailbox("recv.ring.acks")
 	st := ri.st
 	ch := p.Begin("mpi.cts")
-	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmdPackToRing{events: events}) })
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.start(m.w.eng); st.cmds.Put(cmdPackToRing{events: events, acks: acks}) })
 	ch.End()
 
 	fc := m.newConsumer(op)
@@ -383,7 +507,17 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 		ev := events.Get(p).(fragEvt)
 		if !ring.IsValid() {
 			if ev.ringDev {
-				ring = m.ctx.IpcOpenMemHandle(p, ev.ringIPC)
+				mapped, err := m.openIPC(p, ev.ringIPC)
+				if err != nil {
+					// Cancel the attempt before acking anything: the
+					// sender is short every ACK, so it must consume the
+					// abort, unwind, and await the staged command.
+					acks.Put(abortMsg{})
+					fc.abandon(p)
+					s.fallbackStaged(p, op, ri)
+					return
+				}
+				ring = mapped
 			} else {
 				ring = ev.ring
 			}
@@ -393,7 +527,7 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 		slot := ev.slot
 		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
 			pp.Count("mpi.ack", 1)
-			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
+			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { acks.Put(slot) })
 		})
 		got += ev.n
 	}
@@ -401,19 +535,21 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 	op.Req.done.Complete(nil)
 }
 
-// recvIB drives the copy-in/out receiver: set up a host ring (or expose
-// the contiguous host window), command the sender, and unpack arrivals.
-func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
+// recvStaged drives the copy-in/out receiver: set up a host ring (or
+// expose the contiguous host window), command the sender, and unpack
+// arrivals. It serves both the IB path and the SM fallback path — the
+// protocol only needs Channel.Put semantics, which both BTLs provide.
+func (s *PipelinedStrategy) recvStaged(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	m := op.M
 	proto := &m.w.cfg.Proto
 	events := m.w.eng.NewMailbox("recv.ib")
 	st := ri.st
 
-	// Contiguous host receiver: RDMA straight into the user buffer.
+	// Contiguous host receiver: Put straight into the user buffer.
 	if w, ok := contigWindow(op.Buf, op.Dt, op.Count); ok && w.Kind() == mem.Host {
-		cmd := cmdSendIB{direct: w.Slice(0, op.Packed), events: events}
+		cmd := cmdSendStaged{direct: w.Slice(0, op.Packed), events: events}
 		ch := p.Begin("mpi.cts")
-		op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+		op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.start(m.w.eng); st.cmds.Put(cmd) })
 		ch.End()
 		for {
 			if events.Get(p).(fragEvt).last {
@@ -431,9 +567,10 @@ func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	for i := range ring {
 		ring[i] = ringBuf.Slice(int64(i)*frag, frag)
 	}
-	cmd := cmdSendIB{ring: ring, events: events}
+	acks := m.w.eng.NewMailbox("recv.ib.acks")
+	cmd := cmdSendStaged{ring: ring, events: events, acks: acks}
 	ch := p.Begin("mpi.cts")
-	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.cmds.Put(cmd) })
+	op.Ch.AM(p, amHeaderBytes, func(*sim.Proc) { st.start(m.w.eng); st.cmds.Put(cmd) })
 	ch.End()
 
 	fc := m.newConsumer(op)
@@ -444,7 +581,7 @@ func (s *PipelinedStrategy) recvIB(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 		slot := ev.slot
 		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
 			pp.Count("mpi.ack", 1)
-			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { st.acks.Put(slot) })
+			op.Ch.AM(pp, amHeaderBytes, func(*sim.Proc) { acks.Put(slot) })
 		})
 		got += ev.n
 	}

@@ -254,6 +254,7 @@ func (m *Rank) scratch(n int64) mem.Buffer {
 			best = i
 		}
 	}
+	m.scratchOut++
 	if best >= 0 {
 		b := m.scratchPool[best]
 		m.scratchPool = append(m.scratchPool[:best], m.scratchPool[best+1:]...)
@@ -278,6 +279,7 @@ func (m *Rank) scratchCap() int64 {
 // buffers whenever retained bytes exceed the cap so a burst of large
 // messages cannot pin its staging memory forever.
 func (m *Rank) freeScratch(b mem.Buffer) {
+	m.scratchOut--
 	m.scratchPool = append(m.scratchPool, b)
 	m.scratchPooled += b.Len()
 	for m.scratchPooled > m.scratchCap() && len(m.scratchPool) > 1 {

@@ -27,16 +27,18 @@ type Rank struct {
 	engs  []*core.Engine
 	p     *sim.Proc // the rank's main process (set by Run)
 
-	inbox       *sim.Mailbox // active-message delivery queue
-	chans       []*Channel   // per-peer outgoing channels
-	seq         int64        // message sequence for diagnostics
-	posted      []*postedRecv
-	unexp       []*rtsMsg // unexpected arrivals awaiting a recv
+	inbox          *sim.Mailbox // active-message delivery queue
+	chans          []*Channel   // per-peer outgoing channels
+	seq            int64        // message sequence for diagnostics
+	posted         []*postedRecv
+	unexp          []*rtsMsg // unexpected arrivals awaiting a recv
 	scratchPool    []mem.Buffer
 	scratchPooled  int64 // bytes currently retained in scratchPool
 	scratchPeak    int64 // high-water mark of retained bytes
 	scratchLargest int64 // largest single scratch request seen
+	scratchOut     int64 // scratch buffers handed out, not yet returned
 	ringPool       map[*mem.Space][]mem.Buffer
+	ringOut        int64 // ring buffers handed out, not yet returned
 
 	barrierSeq int
 	collSeq    int
@@ -83,6 +85,15 @@ func (m *Rank) FreeScratchHost(b mem.Buffer) { m.freeScratch(b) }
 // ScratchStats reports the scratch pool's currently retained bytes and
 // the high-water mark of retained bytes over the rank's lifetime.
 func (m *Rank) ScratchStats() (pooled, peak int64) { return m.scratchPooled, m.scratchPeak }
+
+// ScratchOutstanding reports scratch buffers handed out and not yet
+// returned to the pool. After a quiescent point (all requests waited
+// on) it must be zero — anything else is a leak, e.g. a protocol
+// attempt abandoned on a fault without releasing its staging.
+func (m *Rank) ScratchOutstanding() int64 { return m.scratchOut }
+
+// RingOutstanding is ScratchOutstanding for the staging-ring pool.
+func (m *Rank) RingOutstanding() int64 { return m.ringOut }
 
 // CPUPack packs host-resident (buf, dt, count) into dst on the CPU,
 // charging the host memory bus.

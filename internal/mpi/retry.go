@@ -1,0 +1,58 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/cuda"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// withRetry runs fn until it succeeds or the fault plan's per-operation
+// attempt budget is exhausted, charging capped exponential backoff
+// between attempts (the PML's recovery timer). The fault injector has
+// already charged the detection latency — the virtual time a real stack
+// spends waiting for the timeout or the error CQE — by the time fn
+// returns an error, so this loop only adds the deliberate backoff. With
+// a nil fault plan fn cannot fail and the loop costs nothing.
+func (m *Rank) withRetry(p *sim.Proc, what string, fn func() error) error {
+	max := m.w.faults.MaxAttempts()
+	var err error
+	for attempt := 0; attempt < max; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if attempt+1 >= max {
+			break
+		}
+		p.Count("mpi.retry", 1)
+		h := p.Begin("mpi.retry.backoff")
+		h.SetDetail(what)
+		p.Sleep(m.w.faults.Backoff(attempt))
+		h.End()
+	}
+	return err
+}
+
+// mustRetry is withRetry for call sites with no recovery protocol above
+// them (eager puts, active messages, staged copies): exhausting the
+// budget there means the transport itself is gone, which stays fatal.
+func (m *Rank) mustRetry(p *sim.Proc, what string, fn func() error) {
+	if err := m.withRetry(p, what, fn); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: %s failed after %d attempts: %v",
+			m.rank, what, m.w.faults.MaxAttempts(), err))
+	}
+}
+
+// openIPC maps a peer allocation with bounded retries. A persistent
+// fault surfaces as an error rather than a panic so the caller can
+// downgrade a zero-copy protocol to staged copy-in/out.
+func (m *Rank) openIPC(p *sim.Proc, h cuda.IpcHandle) (mem.Buffer, error) {
+	var b mem.Buffer
+	err := m.withRetry(p, "ipc.open", func() error {
+		var e error
+		b, e = m.ctx.IpcOpenMemHandle(p, h)
+		return e
+	})
+	return b, err
+}

@@ -41,6 +41,18 @@ func (fp *fragProducer) packInto(p *sim.Proc, frag mem.Buffer) {
 	fp.conv.Pack(frag.Bytes(), fp.buf.Bytes())
 }
 
+// seekTo repositions the producer at packed offset pos, so a protocol
+// attempt abandoned on a fault can replay the message from the start
+// through the same worker (idempotent fragment replay: packing writes
+// the same bytes again).
+func (fp *fragProducer) seekTo(pos int64) {
+	if fp.gpu != nil {
+		fp.gpu.SeekTo(pos)
+		return
+	}
+	fp.conv.SeekTo(pos)
+}
+
 // fragConsumer scatters arriving packed fragments into the receive
 // buffer. Fragments must arrive in packed order. For GPU receivers with
 // a remote (peer-GPU) source it stages fragments in local device memory
@@ -77,14 +89,19 @@ func (m *Rank) newConsumer(op *RecvOp) *fragConsumer {
 
 // consume processes one packed fragment located at src (a sender ring
 // slot, a receiver host ring slot, or a window of the sender's data) and
-// calls ack — if non-nil — as soon as src may be reused.
+// calls ack — if non-nil — as soon as src may be reused. An injected
+// copy fault is retried in place: every fallible step runs before the
+// consumer's cursors advance (fc.i, the converter position), so a retry
+// replays exactly the same fragment into the same bytes.
 func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack func(pp *sim.Proc)) {
 	h := p.BeginBytes("frag.consume", n)
 	defer h.End()
 	m := fc.m
 	switch {
 	case fc.contig.IsValid():
-		m.ctx.Memcpy(p, fc.contig.Slice(off, n), src)
+		m.mustRetry(p, "frag.copy", func() error {
+			return m.ctx.Memcpy(p, fc.contig.Slice(off, n), src)
+		})
 		ackNow(p, ack)
 
 	case fc.conv != nil: // host layout
@@ -93,7 +110,9 @@ func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack f
 				fc.scratch = m.scratch(src.Len())
 			}
 			stage := fc.scratch.Slice(0, n)
-			m.ctx.Memcpy(p, stage, src)
+			m.mustRetry(p, "frag.stage", func() error {
+				return m.ctx.Memcpy(p, stage, src)
+			})
 			ackNow(p, ack)
 			src = stage
 		} else {
@@ -119,12 +138,14 @@ func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack f
 			fc.stage = m.ringBuf(dev.Mem(), 2*m.w.cfg.Proto.FragBytes)
 		}
 		slot := fc.i % 2
-		fc.i++
 		if f := fc.stageFut[slot]; f != nil {
 			f.Await(p) // previous unpack from this staging slot
 		}
 		stage := fc.stage.Slice(int64(slot)*m.w.cfg.Proto.FragBytes, n)
-		m.ctx.Memcpy(p, stage, src)
+		m.mustRetry(p, "frag.stage", func() error {
+			return m.ctx.Memcpy(p, stage, src)
+		})
+		fc.i++
 		ackNow(p, ack)
 		_, fut := fc.gpu.UnpackFrom(p, stage)
 		fc.stageFut[slot] = fut
@@ -147,10 +168,21 @@ func (fc *fragConsumer) finish(p *sim.Proc) {
 	h.End()
 	if fc.stage.IsValid() {
 		fc.m.releaseRing(fc.stage)
+		fc.stage = mem.Buffer{}
 	}
 	if fc.scratch.IsValid() {
 		fc.m.freeScratch(fc.scratch)
+		fc.scratch = mem.Buffer{}
 	}
+}
+
+// abandon releases a consumer whose protocol attempt was aborted by a
+// fault before completing: outstanding unpacks are drained and the
+// staging slabs go back to their pools so the fallback protocol (and
+// every transfer after it) reuses them instead of leaking them.
+func (fc *fragConsumer) abandon(p *sim.Proc) {
+	p.Count("mpi.consumer.abandon", 1)
+	fc.finish(p)
 }
 
 func ackNow(p *sim.Proc, ack func(pp *sim.Proc)) {
@@ -174,6 +206,7 @@ func ackWhen(m *Rank, fut *sim.Future, ack func(pp *sim.Proc)) {
 // space, reusing released rings (rings are hot: every rendezvous message
 // needs one, and the bump allocator does not reclaim).
 func (m *Rank) ringBuf(space *mem.Space, n int64) mem.Buffer {
+	m.ringOut++
 	pool := m.ringPool[space]
 	for i, b := range pool {
 		if b.Len() >= n {
@@ -185,6 +218,7 @@ func (m *Rank) ringBuf(space *mem.Space, n int64) mem.Buffer {
 }
 
 func (m *Rank) releaseRing(b mem.Buffer) {
+	m.ringOut--
 	if m.ringPool == nil {
 		m.ringPool = make(map[*mem.Space][]mem.Buffer)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"gpuddt/internal/core"
+	"gpuddt/internal/fault"
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/ib"
 	"gpuddt/internal/mem"
@@ -48,6 +49,12 @@ type Config struct {
 	// Strategy overrides the rendezvous data-transfer strategy
 	// (default: the paper's pipelined protocols).
 	Strategy Strategy
+
+	// Faults installs a deterministic fault plan on every substrate
+	// (IB fabric, PCIe nodes, GPUs). Nil — the default — keeps every
+	// operation infallible and the simulated timeline byte-identical
+	// to a build without the fault subsystem.
+	Faults *fault.Plan
 }
 
 // ProtoOptions tune the communication protocols.
@@ -102,7 +109,8 @@ type World struct {
 	fabric *ib.Fabric
 	hcas   []*ib.HCA
 	ranks  []*Rank
-	wins   [][]mem.Buffer // RMA window registry: wins[id][rank]
+	faults *fault.Injector // nil when cfg.Faults is nil
+	wins   [][]mem.Buffer  // RMA window registry: wins[id][rank]
 }
 
 // NewWorld builds the cluster and one Rank per placement.
@@ -137,9 +145,12 @@ func NewWorld(cfg Config) *World {
 	cfg.Proto.setDefaults()
 
 	w := &World{eng: sim.NewEngine(), cfg: cfg}
+	w.faults = fault.NewInjector(cfg.Faults)
 	w.fabric = ib.NewFabric(w.eng, cfg.IB)
+	w.fabric.SetFaults(w.faults)
 	for n := 0; n < cfg.Nodes; n++ {
 		node := pcie.NewNode(w.eng, n, cfg.GPUsPerNode, cfg.GPU, cfg.PCIe)
+		node.SetFaults(w.faults)
 		w.nodes = append(w.nodes, node)
 		w.hcas = append(w.hcas, w.fabric.Attach(node))
 	}
@@ -169,6 +180,10 @@ func NewWorld(cfg Config) *World {
 
 // Engine returns the simulation engine.
 func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Faults returns the world's fault injector (nil without a plan), for
+// post-run inspection of injected-fault counts.
+func (w *World) Faults() *fault.Injector { return w.faults }
 
 // Close recycles every node's memory backing into the slab pool (see
 // mem.Space.Release). Call it when the world is finished — after Run

@@ -17,6 +17,7 @@ package pcie
 import (
 	"fmt"
 
+	"gpuddt/internal/fault"
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/sim"
@@ -70,10 +71,23 @@ type Node struct {
 	host   *mem.Space
 	bus    *sim.Link
 	gpus   []*gpu.Device
+	faults *fault.Injector
 
 	rootTx, rootRx *sim.Link
 	gpuTx, gpuRx   []*sim.Link
 }
+
+// SetFaults installs a fault injector on the node and every GPU in it.
+// A nil injector (the default) keeps all operations infallible.
+func (n *Node) SetFaults(in *fault.Injector) {
+	n.faults = in
+	for _, d := range n.gpus {
+		d.SetFaults(in)
+	}
+}
+
+// Faults returns the node's fault injector (nil when none installed).
+func (n *Node) Faults() *fault.Injector { return n.faults }
 
 // NewNode builds a node with ngpus GPUs using the given calibrations and
 // wires every GPU's H2D/D2H copy-engine paths.
@@ -168,13 +182,18 @@ func (n *Node) SlotTx(i int) *sim.Link { return n.gpuTx[i] }
 func (n *Node) SlotRx(i int) *sim.Link { return n.gpuRx[i] }
 
 // HostCopy moves n bytes between two host buffers on the calling process,
-// charging 2n raw bytes on the host bus.
-func (n *Node) HostCopy(p *sim.Proc, dst, src mem.Buffer) {
+// charging 2n raw bytes on the host bus. An injected copy fault fails
+// before any byte moves, so a retry is idempotent.
+func (n *Node) HostCopy(p *sim.Proc, dst, src mem.Buffer) error {
 	if dst.Len() != src.Len() {
 		panic("pcie: HostCopy length mismatch")
 	}
+	if err := n.faults.Check(p, fault.PCIeCopy, src.Len()); err != nil {
+		return err
+	}
 	n.bus.Transfer(p, 2*src.Len())
 	mem.Copy(dst, src)
+	return nil
 }
 
 // DeviceOf returns the GPU owning the given device-memory space, or -1
