@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check chaos-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check scale-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -44,6 +44,20 @@ chaos-check:
 	$(GO) test ./internal/core -run 'TestPackerSeek'
 	$(GO) test ./internal/bench -run TestGoldenFigures
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzChaosPackUnpack -fuzztime 10s
+
+# Scale-out gate: fat-tree topology tests, hierarchical-collective
+# flat-identity and chaos sweeps, the pinned >= 2x alltoall speedup at
+# 128 ranks, then the CI smoke sweep run twice — the two JSON reports
+# must be byte-identical (the sweep is a pure function of its inputs).
+scale-check:
+	$(GO) test ./internal/ib -run 'TestFatTree|TestFlatFabric'
+	$(GO) test ./internal/cluster
+	$(GO) test ./internal/mpi -run 'TestHier'
+	$(GO) test ./internal/bench -run 'TestScale'
+	$(GO) test ./cmd/scalebench
+	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-a.json
+	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-b.json
+	cmp /tmp/scale-a.json /tmp/scale-b.json
 
 # Longer fuzzing session against the differential oracle.
 fuzz:

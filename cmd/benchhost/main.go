@@ -10,7 +10,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +20,7 @@ import (
 	"time"
 
 	"gpuddt/internal/bench"
+	"gpuddt/internal/bench/cli"
 	"gpuddt/internal/core"
 	"gpuddt/internal/cuda"
 	"gpuddt/internal/datatype"
@@ -167,23 +167,7 @@ func Run(args []string, out, errOut io.Writer) int {
 		Speedup:     float64(serial) / float64(parallel),
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(errOut, "benchhost: %v\n", err)
-		return 1
-	}
-	enc = append(enc, '\n')
-	if *outPath == "" {
-		_, err = out.Write(enc)
-	} else {
-		err = os.WriteFile(*outPath, enc, 0o644)
-		fmt.Fprintf(out, "host benchmark report written to %s\n", *outPath)
-	}
-	if err != nil {
-		fmt.Fprintf(errOut, "benchhost: %v\n", err)
-		return 1
-	}
-	return 0
+	return cli.WriteJSON(rep, *outPath, "host benchmark report", "benchhost", out, errOut)
 }
 
 func main() {

@@ -16,13 +16,14 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 
+	"gpuddt/internal/bench/cli"
+	"gpuddt/internal/cluster"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
@@ -60,19 +61,6 @@ type Report struct {
 	Chaos       []Point `json:"chaos"`
 }
 
-func placements(topo string) []mpi.Placement {
-	switch topo {
-	case "1gpu":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
-	case "2gpu":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
-	case "ib":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
-	default:
-		panic("chaosbench: unknown topology " + topo)
-	}
-}
-
 func span(dt *datatype.Datatype, count int) int64 {
 	return int64(count-1)*dt.Extent() + dt.TrueLB() + dt.TrueExtent()
 }
@@ -93,11 +81,10 @@ func measure(topo string, dt *datatype.Datatype, count int, seed uint64, rate fl
 	if rate > 0 {
 		plan = fault.NewPlan(seed, rate)
 	}
-	w := mpi.NewWorld(mpi.Config{
-		Ranks:  placements(topo),
-		Proto:  mpi.ProtoOptions{EagerLimit: 1, FragBytes: frag},
-		Faults: plan,
-	})
+	cfg := cluster.ByName(topo).Config()
+	cfg.Proto = mpi.ProtoOptions{EagerLimit: 1, FragBytes: frag}
+	cfg.Faults = plan
+	w := mpi.NewWorld(cfg)
 	rec := sim.NewRecorder(w.Engine())
 
 	var sent, got []byte
@@ -184,23 +171,7 @@ func Run(args []string, out, errOut io.Writer) int {
 		}
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(errOut, "chaosbench: %v\n", err)
-		return 1
-	}
-	enc = append(enc, '\n')
-	if *outPath == "" {
-		_, err = out.Write(enc)
-	} else {
-		err = os.WriteFile(*outPath, enc, 0o644)
-		fmt.Fprintf(out, "chaos benchmark report written to %s\n", *outPath)
-	}
-	if err != nil {
-		fmt.Fprintf(errOut, "chaosbench: %v\n", err)
-		return 1
-	}
-	return 0
+	return cli.WriteJSON(rep, *outPath, "chaos benchmark report", "chaosbench", out, errOut)
 }
 
 func main() {

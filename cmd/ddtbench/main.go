@@ -15,31 +15,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	"gpuddt/internal/bench"
+	"gpuddt/internal/bench/cli"
 	"gpuddt/internal/trace"
 )
-
-func parseSizes(s string, errOut io.Writer) ([]int, bool) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		n, err := strconv.Atoi(f)
-		if err != nil || n <= 0 {
-			fmt.Fprintf(errOut, "ddtbench: bad size %q\n", f)
-			return nil, false
-		}
-		out = append(out, n)
-	}
-	return out, true
-}
 
 // Run executes the command against args (without the program name) and
 // returns the process exit code.
@@ -50,10 +30,9 @@ func Run(args []string, out, errOut io.Writer) int {
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
 	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run (chrome://tracing, Perfetto) to this file")
+	traceFlag := cli.Trace(fs)
 	parallel := fs.Int("parallel", 1, "run figure runners and sweep points on up to N goroutines (figures are identical at any setting; with -trace, run order follows completion)")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	prof := cli.Profiles(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,38 +40,13 @@ func Run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "ddtbench: -parallel must be >= 1\n")
 		return 2
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(errOut, "ddtbench: %v\n", err)
-				return
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(errOut, "ddtbench: %v\n", err)
-			}
-			f.Close()
-		}()
+	stopProf, ok := prof.Start(errOut)
+	defer stopProf()
+	if !ok {
+		return 1
 	}
 	var traceRuns *[]trace.Run
-	if *traceOut != "" {
+	if traceFlag.Enabled() {
 		runs, stop := bench.CollectTraces()
 		traceRuns = runs
 		defer stop()
@@ -103,7 +57,7 @@ func Run(args []string, out, errOut io.Writer) int {
 		cfg = bench.QuickSweep()
 	}
 	if *sizesFlag != "" {
-		sizes, ok := parseSizes(*sizesFlag, errOut)
+		sizes, ok := cli.ParseSizes(*sizesFlag, "ddtbench", errOut)
 		if !ok {
 			return 2
 		}
@@ -133,20 +87,13 @@ func Run(args []string, out, errOut io.Writer) int {
 	}
 
 	if traceRuns != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+		if err := traceFlag.WriteRuns(*traceRuns...); err != nil {
 			fmt.Fprintf(errOut, "ddtbench: %v\n", err)
 			return 1
 		}
-		werr := trace.WriteChrome(f, *traceRuns...)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
+		if code := traceFlag.Flush(fmt.Sprintf("trace of %d runs", len(*traceRuns)), out, errOut); code != 0 {
+			return code
 		}
-		if werr != nil {
-			fmt.Fprintf(errOut, "ddtbench: %v\n", werr)
-			return 1
-		}
-		fmt.Fprintf(out, "trace of %d runs written to %s\n", len(*traceRuns), *traceOut)
 	}
 	return 0
 }

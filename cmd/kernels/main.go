@@ -12,10 +12,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"gpuddt/internal/bench"
+	"gpuddt/internal/bench/cli"
 )
 
 // Run executes the command against args (without the program name) and
@@ -30,14 +29,9 @@ func Run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	var sizes []int
-	for _, f := range strings.Split(*sizesFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintf(errOut, "kernels: bad size %q\n", f)
-			return 2
-		}
-		sizes = append(sizes, v)
+	sizes, ok := cli.ParseSizes(*sizesFlag, "kernels", errOut)
+	if !ok {
+		return 2
 	}
 
 	switch *which {

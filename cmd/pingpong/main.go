@@ -12,11 +12,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"gpuddt/internal/baseline"
 	"gpuddt/internal/bench"
+	"gpuddt/internal/bench/cli"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mpi"
 	"gpuddt/internal/shapes"
@@ -39,43 +38,17 @@ func Run(args []string, out, errOut io.Writer) int {
 	blocks := fs.Int("blocks", 0, "restrict pack/unpack kernels to this many CUDA blocks")
 	direct := fs.Bool("direct-unpack", false, "unpack directly from remote GPU memory (no staging)")
 	verbose := fs.Bool("verbose", false, "print a link-utilization report after the run")
-	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	traceFlag := cli.Trace(fs)
 	phases := fs.Bool("phases", false, "print the per-message phase attribution (pack vs wire vs unpack)")
 	timeline := fs.Bool("timeline", false, "print the plain-text span timeline")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	prof := cli.Profiles(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(errOut, "pingpong: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			fmt.Fprintf(errOut, "pingpong: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(errOut, "pingpong: %v\n", err)
-				return
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(errOut, "pingpong: %v\n", err)
-			}
-			f.Close()
-		}()
+	stopProf, ok := prof.Start(errOut)
+	defer stopProf()
+	if !ok {
+		return 1
 	}
 
 	var topo bench.Topology
@@ -142,23 +115,10 @@ func Run(args []string, out, errOut io.Writer) int {
 	if *timeline {
 		spec.TraceTimeline = out
 	}
-	var traceFile *os.File
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(errOut, "pingpong: %v\n", err)
-			return 1
-		}
-		traceFile = f
-		spec.TraceJSON = f
-	}
+	spec.TraceJSON = traceFlag.Writer()
 	rt := bench.PingPong(spec)
-	if traceFile != nil {
-		if err := traceFile.Close(); err != nil {
-			fmt.Fprintf(errOut, "pingpong: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+	if code := traceFlag.Flush("trace", out, errOut); code != 0 {
+		return code
 	}
 	fmt.Fprintf(out, "topology=%s type=%s N=%d impl=%s packed=%s\n",
 		topo, *typeFlag, *n, *impl, fmtBytes(dt0.Size()))

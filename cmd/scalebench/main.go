@@ -1,0 +1,78 @@
+// Command scalebench sweeps the topology-aware collectives against
+// their flat counterparts on simulated fat-tree clusters — collective x
+// world size x oversubscription — and emits a machine-readable
+// BENCH_scale.json. Both algorithms run on the same fabric and must
+// produce byte-identical buffers on every rank; the reported times are
+// virtual (simulated), so the sweep is deterministic: two runs of the
+// same binary produce the same measurements.
+//
+// Usage:
+//
+//	scalebench                   # JSON to stdout (full sweep, 2..256 ranks)
+//	scalebench -out BENCH_scale.json
+//	scalebench -quick            # CI smoke sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"gpuddt/internal/bench"
+	"gpuddt/internal/bench/cli"
+)
+
+// Report is the BENCH_scale.json schema. The header mirrors
+// BENCH_chaos.json so downstream tooling parses both the same way.
+type Report struct {
+	GeneratedBy  string             `json:"generated_by"`
+	GoVersion    string             `json:"go_version"`
+	GoMaxProcs   int                `json:"go_maxprocs"`
+	NumCPU       int                `json:"num_cpu"`
+	Datatype     string             `json:"datatype"`
+	RanksPerNode int                `json:"ranks_per_node"`
+	Scale        []bench.ScalePoint `json:"scale"`
+}
+
+// Run executes the command and returns the process exit code.
+func Run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("scalebench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	outPath := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	quick := fs.Bool("quick", false, "small sweep for a fast smoke run")
+	prof := cli.Profiles(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	stopProf, ok := prof.Start(errOut)
+	defer stopProf()
+	if !ok {
+		return 1
+	}
+
+	sw := bench.DefaultScaleSweep()
+	if *quick {
+		sw = bench.QuickScaleSweep()
+	}
+	pts, err := bench.RunScale(sw)
+	if err != nil {
+		fmt.Fprintf(errOut, "scalebench: %v\n", err)
+		return 1
+	}
+	rep := Report{
+		GeneratedBy:  "cmd/scalebench",
+		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Datatype:     "submatrix_16x8_ld12",
+		RanksPerNode: sw.RanksPerNode,
+		Scale:        pts,
+	}
+	return cli.WriteJSON(rep, *outPath, "scale benchmark report", "scalebench", out, errOut)
+}
+
+func main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestQuickRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.GeneratedBy != "cmd/scalebench" {
+		t.Errorf("generated_by = %q", rep.GeneratedBy)
+	}
+	if len(rep.Scale) == 0 {
+		t.Fatal("no sweep points")
+	}
+	for _, pt := range rep.Scale {
+		if pt.HierUs <= 0 || pt.FlatUs <= 0 {
+			t.Errorf("%s %d ranks: non-positive time", pt.Coll, pt.Ranks)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if code := Run([]string{"-quick"}, &a, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := Run([]string{"-quick"}, &b, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two -quick runs differ: the sweep is not deterministic")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuddt/internal/baseline"
+	"gpuddt/internal/cluster"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/gpu"
 	"gpuddt/internal/mpi"
@@ -21,13 +22,12 @@ import (
 // rank exchanges one contiguous row boundary and one non-contiguous
 // column boundary (vector type), like SHOC's 2D stencil.
 func AppHalo(n, iters int, strategy mpi.Strategy) sim.Time {
-	w := mpi.NewWorld(mpi.Config{
-		Ranks:    []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}},
-		GPU:      bigGPU(),
-		PCIe:     bigPCIe(),
-		Strategy: strategy,
-		Proto:    mpi.ProtoOptions{EagerLimit: 1}, // force the DDT protocols even for one column
-	})
+	cfg := cluster.TwoGPU().Config()
+	cfg.GPU = bigGPU()
+	cfg.PCIe = bigPCIe()
+	cfg.Strategy = strategy
+	cfg.Proto = mpi.ProtoOptions{EagerLimit: 1} // force the DDT protocols even for one column
+	w := mpi.NewWorld(cfg)
 	attachTrace(w.Engine(), "app:halo")
 	defer w.Close()
 	pitch := int64(n+2) * 8
@@ -68,12 +68,11 @@ func AppParticles(nParticles, recordElems, iters int, strategy mpi.Strategy) sim
 	}
 	ddt := shapes.ParticleIndices(idx, recordElems)
 	recv := datatype.Contiguous(len(idx)*recordElems, datatype.Float64)
-	w := mpi.NewWorld(mpi.Config{
-		Ranks:    []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}},
-		GPU:      bigGPU(),
-		PCIe:     bigPCIe(),
-		Strategy: strategy,
-	})
+	cfg := cluster.TwoNode().Config()
+	cfg.GPU = bigGPU()
+	cfg.PCIe = bigPCIe()
+	cfg.Strategy = strategy
+	w := mpi.NewWorld(cfg)
 	attachTrace(w.Engine(), "app:particles")
 	defer w.Close()
 	var per sim.Time
@@ -100,14 +99,11 @@ func AppParticles(nParticles, recordElems, iters int, strategy mpi.Strategy) sim
 // the ScaLAPACK layout) from a 2x2 process grid onto rank 0, each piece
 // arriving as packed contiguous data.
 func AppScaLAPACK(n, nb int, strategy mpi.Strategy) sim.Time {
-	w := mpi.NewWorld(mpi.Config{
-		Ranks: []mpi.Placement{
-			{Node: 0, GPU: 0}, {Node: 0, GPU: 1}, {Node: 1, GPU: 0}, {Node: 1, GPU: 1},
-		},
-		GPU:      bigGPU(),
-		PCIe:     bigPCIe(),
-		Strategy: strategy,
-	})
+	cfg := cluster.Spec{Nodes: 2, GPUsPerNode: 2, RanksPerNode: 2}.Config()
+	cfg.GPU = bigGPU()
+	cfg.PCIe = bigPCIe()
+	cfg.Strategy = strategy
+	w := mpi.NewWorld(cfg)
 	attachTrace(w.Engine(), "app:scalapack")
 	defer w.Close()
 	gs := []int{n, n}
@@ -162,11 +158,10 @@ func WhatIfGPU(n int) *Figure {
 	pts := pmap(len(gens), func(gen int) [4]float64 {
 		params := gens[gen]
 		run := func(topo Topology, dt *datatype.Datatype) float64 {
-			w := mpi.NewWorld(mpi.Config{
-				Ranks: topo.placements(),
-				GPU:   params,
-				PCIe:  bigPCIe(),
-			})
+			cfg := topo.Spec().Config()
+			cfg.GPU = params
+			cfg.PCIe = bigPCIe()
+			w := mpi.NewWorld(cfg)
 			attachTrace(w.Engine(), fmt.Sprintf("whatif %s %s", topo, dt.Name()))
 			defer w.Close()
 			return pingPongOn(w, dt).Millis()

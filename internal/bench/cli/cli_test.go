@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	var errOut bytes.Buffer
+	sizes, ok := ParseSizes("1024, 4096,65536", "toolx", &errOut)
+	if !ok {
+		t.Fatalf("parse failed: %s", errOut.String())
+	}
+	if want := []int{1024, 4096, 65536}; len(sizes) != len(want) {
+		t.Fatalf("sizes = %v, want %v", sizes, want)
+	} else {
+		for i := range want {
+			if sizes[i] != want[i] {
+				t.Fatalf("sizes = %v, want %v", sizes, want)
+			}
+		}
+	}
+	if _, ok := ParseSizes("12,zero", "toolx", &errOut); ok {
+		t.Fatal("bad size accepted")
+	}
+	if !strings.Contains(errOut.String(), "toolx: bad size") {
+		t.Errorf("error %q does not name the tool", errOut.String())
+	}
+	if _, ok := ParseSizes("-4", "toolx", &errOut); ok {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestWriteJSONToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut bytes.Buffer
+	if code := WriteJSON(map[string]int{"a": 1}, path, "report", "toolx", &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Errorf("confirmation %q does not name the file", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"a\": 1") {
+		t.Errorf("file content %q", data)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Error("report does not end in a newline")
+	}
+}
+
+func TestWriteJSONToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := WriteJSON([]int{1, 2}, "", "report", "toolx", &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) == "" {
+		t.Fatal("nothing written to stdout")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("toolx", flag.ContinueOnError)
+	tf := Trace(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tf.Enabled() {
+		t.Fatal("trace enabled with no -trace flag")
+	}
+	if tf.Writer() != nil {
+		t.Fatal("disabled trace has a writer")
+	}
+	var out, errOut bytes.Buffer
+	if code := tf.Flush("trace", &out, &errOut); code != 0 {
+		t.Fatalf("disabled flush: exit %d", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("disabled flush printed %q", out.String())
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	fs := flag.NewFlagSet("toolx", flag.ContinueOnError)
+	tf := Trace(fs)
+	if err := fs.Parse([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !tf.Enabled() {
+		t.Fatal("trace not enabled")
+	}
+	if err := tf.WriteRuns(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := tf.Flush("trace", &out, &errOut); code != 0 {
+		t.Fatalf("flush: exit %d: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}

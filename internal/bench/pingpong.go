@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gpuddt/internal/baseline"
+	"gpuddt/internal/cluster"
 	"gpuddt/internal/core"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mpi"
@@ -34,14 +35,15 @@ func (tp Topology) String() string {
 	}
 }
 
-func (tp Topology) placements() []mpi.Placement {
+// Spec maps the configuration to its cluster shape.
+func (tp Topology) Spec() cluster.Spec {
 	switch tp {
 	case OneGPU:
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
+		return cluster.OneGPU()
 	case TwoGPU:
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
+		return cluster.TwoGPU()
 	default:
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
+		return cluster.TwoNode()
 	}
 }
 
@@ -93,14 +95,13 @@ func PingPong(sp PingPongSpec) sim.Time {
 	if sp.Warmup == 0 {
 		sp.Warmup = 1
 	}
-	w := mpi.NewWorld(mpi.Config{
-		Ranks:    sp.Topo.placements(),
-		GPU:      bigGPU(),
-		PCIe:     bigPCIe(),
-		Strategy: sp.Strategy,
-		Engine:   sp.Engine,
-		Proto:    sp.Proto,
-	})
+	cfg := sp.Topo.Spec().Config()
+	cfg.GPU = bigGPU()
+	cfg.PCIe = bigPCIe()
+	cfg.Strategy = sp.Strategy
+	cfg.Engine = sp.Engine
+	cfg.Proto = sp.Proto
+	w := mpi.NewWorld(cfg)
 	defer w.Close()
 	label := fmt.Sprintf("pingpong %s %s", sp.Topo, sp.Dt0.Name())
 	rec := attachTrace(w.Engine(), label)

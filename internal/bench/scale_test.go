@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestScaleQuickSweep runs the CI sweep end to end. Every point is
+// payload-verified inside RunScale (hier vs flat byte-identity); here
+// we check the sweep shape and that the measurements are sane.
+func TestScaleQuickSweep(t *testing.T) {
+	sw := QuickScaleSweep()
+	pts, err := RunScale(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(sw.Colls) * len(sw.Ranks) * len(sw.Oversubs)
+	if len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for _, pt := range pts {
+		if pt.FlatUs <= 0 || pt.HierUs <= 0 {
+			t.Errorf("%s %d ranks: non-positive time (flat %.1f, hier %.1f)", pt.Coll, pt.Ranks, pt.FlatUs, pt.HierUs)
+		}
+		if pt.BytesPerRank <= 0 {
+			t.Errorf("%s %d ranks: no payload", pt.Coll, pt.Ranks)
+		}
+		if pt.Ranks != pt.Nodes*pt.RanksPerNode {
+			t.Errorf("%s: inconsistent shape %d != %d*%d", pt.Coll, pt.Ranks, pt.Nodes, pt.RanksPerNode)
+		}
+	}
+}
+
+// TestScaleAlltoallTarget pins the headline claim: the hierarchical
+// alltoall is at least 2x faster than the flat pairwise exchange at
+// 128 ranks on a 2:1 oversubscribed fat tree.
+func TestScaleAlltoallTarget(t *testing.T) {
+	pt, err := measureScale("alltoall", 32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Speedup < 2 {
+		t.Fatalf("alltoall at 128 ranks, 2:1 oversub: speedup %.2f, want >= 2", pt.Speedup)
+	}
+}
+
+// TestScaleDeterminism re-measures one point and requires identical
+// virtual times: the sweep must be a pure function of its parameters.
+func TestScaleDeterminism(t *testing.T) {
+	a, err := measureScale("allgather", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := measureScale("allgather", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic point:\n  %+v\n  %+v", a, b)
+	}
+}

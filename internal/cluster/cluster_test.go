@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+
+	"gpuddt/internal/mpi"
+)
+
+func TestPaperTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want []mpi.Placement
+	}{
+		{"1gpu", OneGPU(), []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}},
+		{"2gpu", TwoGPU(), []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}},
+		{"ib", TwoNode(), []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}},
+	}
+	for _, c := range cases {
+		got := c.spec.Placements()
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: %d placements, want %d", c.name, len(got), len(c.want))
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: placement %d = %+v, want %+v", c.name, i, got[i], c.want[i])
+			}
+		}
+		if by := ByName(c.name); by != c.spec {
+			t.Fatalf("ByName(%q) = %+v, want %+v", c.name, by, c.spec)
+		}
+	}
+}
+
+func TestScaleShape(t *testing.T) {
+	s := Scale(16, 2, 4, 2)
+	if s.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", s.Size())
+	}
+	pls := s.Placements()
+	for r, pl := range pls {
+		if pl.Node != r/4 {
+			t.Fatalf("rank %d on node %d, want blocked layout", r, pl.Node)
+		}
+		if pl.GPU != (r%4)%2 {
+			t.Fatalf("rank %d on GPU %d, want round-robin over 2 GPUs", r, pl.GPU)
+		}
+	}
+	if !s.IB.Topo.Hierarchical() {
+		t.Fatal("Scale spec is not hierarchical")
+	}
+	if got := s.IB.Topo.Oversubscription(); got != 2 {
+		t.Fatalf("oversubscription = %v, want 2", got)
+	}
+}
+
+// TestConfigBuildsTopologyAwareWorld: a Scale spec's config must yield
+// a world the hierarchical collectives recognize, and the paper specs
+// must not.
+func TestConfigBuildsTopologyAwareWorld(t *testing.T) {
+	if w := mpi.NewWorld(Scale(4, 1, 2, 1).Config()); !w.TopologyAware() {
+		t.Fatal("Scale(4,1,2,1) world is not topology-aware")
+	}
+	for _, name := range []string{"1gpu", "2gpu", "ib"} {
+		if w := mpi.NewWorld(ByName(name).Config()); w.TopologyAware() {
+			t.Fatalf("%s world claims topology awareness", name)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := Scale(16, 1, 4, 2).String(); got != "16x4 (fat-tree 8:4)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := TwoNode().String(); got != "2x1" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuddt/internal/baseline"
+	"gpuddt/internal/cluster"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
@@ -96,19 +97,6 @@ func (c RTConfig) String() string {
 	return s
 }
 
-func (c RTConfig) placements() []mpi.Placement {
-	switch c.Topo {
-	case "1gpu":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 0}}
-	case "2gpu":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 0, GPU: 1}}
-	case "ib":
-		return []mpi.Placement{{Node: 0, GPU: 0}, {Node: 1, GPU: 0}}
-	default:
-		panic(fmt.Sprintf("conformance: unknown topology %q", c.Topo))
-	}
-}
-
 // RoundTrip sends (tree, count) from rank 0 to rank 1 over the selected
 // channel and verifies the receiver's memory byte-for-byte against the
 // reference walker: scattered bytes must match the sender's data, gap
@@ -149,12 +137,11 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 		}
 	}
 
-	w := mpi.NewWorld(mpi.Config{
-		Ranks:    cfg.placements(),
-		Proto:    proto,
-		Strategy: strategy,
-		Faults:   plan,
-	})
+	wcfg := cluster.ByName(cfg.Topo).Config()
+	wcfg.Proto = proto
+	wcfg.Strategy = strategy
+	wcfg.Faults = plan
+	w := mpi.NewWorld(wcfg)
 	var rec *sim.Recorder
 	if cfg.Traced {
 		rec = sim.NewRecorder(w.Engine())

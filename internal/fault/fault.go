@@ -17,9 +17,22 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 
 	"gpuddt/internal/sim"
+)
+
+// Sentinel error classes every injected fault maps onto. Callers decide
+// recovery with errors.Is: a transient fault is worth the retry budget,
+// a persistent fault fails every probe and the only useful reaction is
+// protocol degradation (e.g. the staged copy-in/out downgrade when the
+// P2P path is dead). Every *Error matches exactly one of the two.
+var (
+	// ErrTransient classifies faults that may succeed on retry.
+	ErrTransient = errors.New("fault: transient")
+	// ErrPersistent classifies hard faults that fail on every probe.
+	ErrPersistent = errors.New("fault: persistent")
 )
 
 // Site names an injection point in the stack.
@@ -75,6 +88,10 @@ type Error struct {
 	// before the completion was lost (dropped RDMA completion): the
 	// caller's retry must be idempotent, not compensating.
 	Delivered bool
+	// Persistent reports that the site is marked permanently faulted in
+	// the plan: retrying cannot succeed. Matched by errors.Is against
+	// ErrPersistent (and its absence against ErrTransient).
+	Persistent bool
 }
 
 func (e *Error) Error() string {
@@ -82,14 +99,30 @@ func (e *Error) Error() string {
 	if e.Delivered {
 		d = " (payload delivered, completion lost)"
 	}
-	return fmt.Sprintf("fault: injected %s failure at %v (op %d, %d bytes)%s", e.Site, e.At, e.Seq, e.N, d)
+	k := "transient"
+	if e.Persistent {
+		k = "persistent"
+	}
+	return fmt.Sprintf("fault: injected %s %s failure at %v (op %d, %d bytes)%s", k, e.Site, e.At, e.Seq, e.N, d)
+}
+
+// Is classifies the fault for errors.Is: every injected error matches
+// exactly one of ErrTransient and ErrPersistent.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrPersistent:
+		return e.Persistent
+	case ErrTransient:
+		return !e.Persistent
+	}
+	return false
 }
 
 // WasDelivered reports whether err is an injected fault whose payload
 // landed despite the lost completion.
 func WasDelivered(err error) bool {
-	fe, ok := err.(*Error)
-	return ok && fe.Delivered
+	var fe *Error
+	return errors.As(err, &fe) && fe.Delivered
 }
 
 // Plan is the declarative fault schedule. The zero value of every field
@@ -300,7 +333,7 @@ func (in *Injector) Check(p *sim.Proc, site Site, n int64) error {
 	}
 	in.injected[site]++
 	p.Count("fault."+string(site), 1)
-	e := &Error{Site: site, At: p.Now(), N: n, Seq: seq}
+	e := &Error{Site: site, At: p.Now(), N: n, Seq: seq, Persistent: in.plan.Persistent[site]}
 	// A dropped completion delivers the payload; use a spare hash bit
 	// so half the RDMA faults exercise the idempotent-replay path.
 	if (site == RDMAWrite || site == RDMARead) && h&1 == 1 {

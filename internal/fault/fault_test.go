@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"gpuddt/internal/sim"
@@ -169,4 +171,45 @@ func TestBackoffShape(t *testing.T) {
 		}
 		prev = d
 	}
+}
+
+// TestSentinelClassification asserts every injected error matches
+// exactly one of the two sentinel classes under errors.Is, wrapped or
+// not, and that WasDelivered survives wrapping.
+func TestSentinelClassification(t *testing.T) {
+	pl := NewPlan(1, 1.0)
+	pl.Persistent[IPCOpen] = true
+	in := NewInjector(pl)
+	run(t, func(p *sim.Proc) {
+		hard := in.Check(p, IPCOpen, 64)
+		if hard == nil {
+			t.Fatal("persistent site did not fault")
+		}
+		if !errors.Is(hard, ErrPersistent) || errors.Is(hard, ErrTransient) {
+			t.Fatalf("persistent fault misclassified: %v", hard)
+		}
+		soft := in.Check(p, PCIeCopy, 64)
+		if soft == nil {
+			t.Fatal("rate-1.0 site did not fault")
+		}
+		if !errors.Is(soft, ErrTransient) || errors.Is(soft, ErrPersistent) {
+			t.Fatalf("transient fault misclassified: %v", soft)
+		}
+		wrapped := fmt.Errorf("pml: %w", hard)
+		if !errors.Is(wrapped, ErrPersistent) {
+			t.Fatal("wrapping lost the persistent classification")
+		}
+		var delivered error
+		for i := 0; delivered == nil && i < 64; i++ {
+			if err := in.Check(p, RDMAWrite, 64); WasDelivered(err) {
+				delivered = fmt.Errorf("frag 3: %w", err)
+			}
+		}
+		if delivered == nil {
+			t.Fatal("no dropped-completion fault in 64 rolls at rate 1.0")
+		}
+		if !WasDelivered(delivered) {
+			t.Fatal("WasDelivered does not unwrap")
+		}
+	})
 }

@@ -37,6 +37,56 @@ type Params struct {
 	// the wire rate for large messages, which is why the openib BTL
 	// stages large fragments through host memory.
 	GPUDirectReadGBps float64
+
+	// Topo selects the switch hierarchy. The zero value is the single
+	// flat crossbar the paper's two-node testbed used; setting LeafRadix
+	// turns on the two-tier fat tree.
+	Topo Topology
+}
+
+// Topology describes a two-tier fat tree: HCAs attach to leaf switches
+// in attach order (LeafRadix per leaf), and every leaf reaches every
+// other leaf through one of Spines spine switches. Each (leaf, spine)
+// pair is a dedicated up and a dedicated down sim.Link shared by all
+// flows routed over it, so uplink congestion under oversubscription is
+// modeled by real queueing, not a formula. The zero value means a
+// single flat switch (the pre-hierarchy model, byte-identical to it).
+type Topology struct {
+	// LeafRadix is the number of HCAs per leaf switch; 0 disables the
+	// hierarchy entirely (flat single switch, no extra links created).
+	LeafRadix int
+
+	// Spines is the number of spine switches, i.e. uplinks per leaf.
+	// 0 defaults to LeafRadix (a fully-provisioned 1:1 tree); LeafRadix/2
+	// gives the classic 2:1 oversubscription.
+	Spines int
+
+	// UplinkGBps is the per-uplink bandwidth; 0 defaults to WireGBps.
+	UplinkGBps float64
+
+	// HopLatency is the extra propagation latency per spine-tier hop
+	// (leaf→spine and spine→leaf each charge one); 0 defaults to
+	// Latency/2.
+	HopLatency sim.Time
+}
+
+// Hierarchical reports whether the fabric has a spine tier.
+func (t Topology) Hierarchical() bool { return t.LeafRadix > 0 }
+
+// Oversubscription returns the leaf down:up port ratio (1 = fully
+// provisioned, 2 = half the uplink capacity, ...). Assumes uplinks run
+// at the wire rate, which the defaults guarantee.
+func (t Topology) Oversubscription() float64 {
+	if !t.Hierarchical() || t.Spines <= 0 {
+		return 1
+	}
+	return float64(t.LeafRadix) / float64(t.Spines)
+}
+
+// FatTree returns the topology of a two-tier tree with the given leaf
+// radix and spine count (bandwidth and latency at the wire defaults).
+func FatTree(leafRadix, spines int) Topology {
+	return Topology{LeafRadix: leafRadix, Spines: spines}
 }
 
 // DefaultParams returns the PSG-cluster-like FDR calibration.
@@ -55,25 +105,69 @@ type Fabric struct {
 	eng    *sim.Engine
 	params Params
 	hcas   []*HCA
+	leaves []*leafSwitch
 	faults *fault.Injector
+}
+
+// leafSwitch holds one leaf's shared uplink servers: up[s] carries
+// leaf→spine s traffic, down[s] spine s→leaf. Flows between HCAs on the
+// same leaf never touch them (the leaf crossbar is non-blocking).
+type leafSwitch struct {
+	up, down []*sim.Link
 }
 
 // SetFaults installs a fault injector on the fabric. A nil injector
 // (the default) makes every operation infallible, as before.
 func (f *Fabric) SetFaults(in *fault.Injector) { f.faults = in }
 
-// NewFabric creates an empty fabric.
+// NewFabric creates an empty fabric, normalizing the topology defaults
+// (Spines = LeafRadix, uplinks at the wire rate, hops at Latency/2).
 func NewFabric(eng *sim.Engine, p Params) *Fabric {
+	if p.Topo.Hierarchical() {
+		if p.Topo.Spines <= 0 {
+			p.Topo.Spines = p.Topo.LeafRadix
+		}
+		if p.Topo.UplinkGBps <= 0 {
+			p.Topo.UplinkGBps = p.WireGBps
+		}
+		if p.Topo.HopLatency <= 0 {
+			p.Topo.HopLatency = p.Latency / 2
+		}
+	}
 	return &Fabric{eng: eng, params: p}
 }
 
 // Params returns the fabric calibration.
 func (f *Fabric) Params() Params { return f.params }
 
+// Leaves returns the number of leaf switches instantiated so far
+// (always 0 on a flat fabric).
+func (f *Fabric) Leaves() int { return len(f.leaves) }
+
+// ensureLeaf instantiates leaf switches up to and including index i,
+// creating the per-spine up/down links. Only ever called on a
+// hierarchical fabric, so the flat default creates zero extra links
+// (keeping link creation order — and golden traces — untouched).
+func (f *Fabric) ensureLeaf(i int) {
+	t := f.params.Topo
+	for len(f.leaves) <= i {
+		li := len(f.leaves)
+		ls := &leafSwitch{}
+		for s := 0; s < t.Spines; s++ {
+			ls.up = append(ls.up,
+				f.eng.NewLink(fmt.Sprintf("leaf%d.up%d", li, s), t.UplinkGBps, t.HopLatency))
+			ls.down = append(ls.down,
+				f.eng.NewLink(fmt.Sprintf("leaf%d.down%d", li, s), t.UplinkGBps, t.HopLatency))
+		}
+		f.leaves = append(f.leaves, ls)
+	}
+}
+
 // HCA is one node's host channel adapter.
 type HCA struct {
 	f     *Fabric
 	node  *pcie.Node
+	leaf  int // leaf switch index (attach order / LeafRadix); 0 when flat
 	tx    *sim.Link
 	rx    *sim.Link
 	inbox *sim.Mailbox
@@ -85,7 +179,8 @@ type regKey struct {
 	addr  int64
 }
 
-// Attach creates an HCA on node and joins it to the fabric.
+// Attach creates an HCA on node and joins it to the fabric, cabling it
+// to the next free leaf port (attach order) on a hierarchical fabric.
 func (f *Fabric) Attach(node *pcie.Node) *HCA {
 	h := &HCA{
 		f:     f,
@@ -95,12 +190,19 @@ func (f *Fabric) Attach(node *pcie.Node) *HCA {
 		inbox: f.eng.NewMailbox(fmt.Sprintf("ib%d.inbox", node.ID())),
 		regs:  make(map[regKey]bool),
 	}
+	if f.params.Topo.Hierarchical() {
+		h.leaf = len(f.hcas) / f.params.Topo.LeafRadix
+		f.ensureLeaf(h.leaf)
+	}
 	f.hcas = append(f.hcas, h)
 	return h
 }
 
 // Node returns the node this HCA is attached to.
 func (h *HCA) Node() *pcie.Node { return h.node }
+
+// Leaf returns the index of the leaf switch the HCA is cabled to.
+func (h *HCA) Leaf() int { return h.leaf }
 
 // Inbox returns the mailbox where received messages appear (in order).
 func (h *HCA) Inbox() *sim.Mailbox { return h.inbox }
@@ -129,12 +231,30 @@ func (h *HCA) Register(p *sim.Proc, b mem.Buffer) error {
 	return nil
 }
 
-// pathTo returns the store-and-forward path to a peer HCA.
+// pathTo returns the cut-through path to a peer HCA. Same-leaf (and
+// flat-fabric) traffic crosses only the two port links; cross-leaf
+// traffic additionally holds the shared uplink to its spine and the
+// peer leaf's downlink, so concurrent flows over an oversubscribed
+// spine tier queue against each other.
 func (h *HCA) pathTo(peer *HCA) *sim.Path {
-	return &sim.Path{
-		Name:  fmt.Sprintf("ib%d->ib%d", h.node.ID(), peer.node.ID()),
-		Links: []*sim.Link{h.tx, peer.rx},
+	if h.leaf == peer.leaf {
+		return &sim.Path{
+			Name:  fmt.Sprintf("ib%d->ib%d", h.node.ID(), peer.node.ID()),
+			Links: []*sim.Link{h.tx, peer.rx},
+		}
 	}
+	s := h.spineFor(peer)
+	return &sim.Path{
+		Name:  fmt.Sprintf("ib%d->spine%d->ib%d", h.node.ID(), s, peer.node.ID()),
+		Links: []*sim.Link{h.tx, h.f.leaves[h.leaf].up[s], h.f.leaves[peer.leaf].down[s], peer.rx},
+	}
+}
+
+// spineFor picks the spine carrying h→peer traffic: static ECMP-style
+// hashing on the endpoint pair, so a given flow is stable (FIFO order
+// preserved) while distinct pairs spread across the spines.
+func (h *HCA) spineFor(peer *HCA) int {
+	return (h.node.ID() + peer.node.ID()) % h.f.params.Topo.Spines
 }
 
 // Send transmits a message of n wire bytes carrying payload to peer,
@@ -149,8 +269,9 @@ func (h *HCA) Send(p *sim.Proc, peer *HCA, n int64, payload interface{}) error {
 	if err := h.f.faults.Check(p, fault.IBSend, n); err != nil {
 		return err
 	}
-	h.pathTo(peer).Occupy(p, n)
-	peer.inbox.PutAfter(h.f.params.Latency, payload)
+	pa := h.pathTo(peer)
+	pa.Occupy(p, n)
+	peer.inbox.PutAfter(pa.Latency(), payload)
 	return nil
 }
 
@@ -188,7 +309,9 @@ func (h *HCA) Read(p *sim.Proc, peer *HCA, dst, src mem.Buffer) error {
 	}
 	sp := p.BeginBytes("rdma.read", src.Len())
 	defer sp.End()
-	p.Sleep(h.f.params.PerMsgOverhead + h.f.params.Latency)
+	// The read request travels to the target first; the request leg
+	// crosses the same hops as the returning data.
+	p.Sleep(h.f.params.PerMsgOverhead + h.pathTo(peer).Latency())
 	if err := h.f.faults.Check(p, fault.RDMARead, src.Len()); err != nil {
 		if fault.WasDelivered(err) {
 			peer.pathTo(h).Transfer(p, peer.wireBytes(src))

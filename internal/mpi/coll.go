@@ -15,9 +15,22 @@ import (
 // collTagBase keeps collective traffic out of the user's tag space.
 const collTagBase = 1 << 20
 
-// Bcast broadcasts count elements of dt from root over a binomial tree.
-// Every rank's buf must describe the same signature.
+// Bcast broadcasts count elements of dt from root. Every rank's buf
+// must describe the same signature. On a multi-node world with several
+// ranks per node (blocked layout) the broadcast is hierarchical —
+// binomial over one leader per node on the IB tier, then binomial
+// within each node over the shared-memory tier; otherwise it is the
+// flat binomial tree.
 func (m *Rank) Bcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
+	if m.hierOn() && count > 0 {
+		m.hierBcast(buf, dt, count, root)
+		return
+	}
+	m.bcastFlat(buf, dt, count, root)
+}
+
+// bcastFlat is the topology-blind binomial broadcast.
+func (m *Rank) bcastFlat(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
 	size := m.Size()
 	if size == 1 {
 		return
@@ -49,11 +62,22 @@ func (m *Rank) Bcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
 }
 
 // Allgather gathers each rank's count elements of dt (read from its slot
-// of buf) into every rank's buf, using the ring algorithm: buf must hold
-// Size() consecutive (dt, count) slots, each starting at
-// rank*count*extent. GPU-resident non-contiguous slots are packed and
-// unpacked by the datatype engine on every hop.
+// of buf) into every rank's buf: buf must hold Size() consecutive
+// (dt, count) slots, each starting at rank*count*extent. GPU-resident
+// non-contiguous slots are packed and unpacked by the datatype engine on
+// every hop. Topology-aware worlds gather each node's slots to its
+// leader first, ring the aggregated node slabs over the IB tier, and
+// broadcast the result within each node; otherwise the flat ring runs.
 func (m *Rank) Allgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
+	if m.hierOn() && count > 0 {
+		m.hierAllgather(buf, dt, count)
+		return
+	}
+	m.allgatherFlat(buf, dt, count)
+}
+
+// allgatherFlat is the topology-blind ring algorithm.
+func (m *Rank) allgatherFlat(buf mem.Buffer, dt *datatype.Datatype, count int) {
 	size := m.Size()
 	if size == 1 {
 		return

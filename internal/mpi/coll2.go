@@ -63,9 +63,22 @@ func (m *Rank) Scatter(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 
 // Alltoall exchanges slot j of every rank's sendBuf with slot i of rank
 // j's recvBuf (the building block of distributed transposes and FFTs).
-// Pairwise-exchange algorithm: step s pairs rank with rank^s when the
-// size is a power of two, and (rank+s, rank-s) otherwise.
+// Topology-aware worlds aggregate each node's traffic at its leader and
+// exchange one large message per node pair over the IB tier instead of
+// ranks-squared small ones; otherwise the flat pairwise exchange runs:
+// step s pairs rank with rank^s when the size is a power of two, and
+// (rank+s, rank-s) otherwise.
 func (m *Rank) Alltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
+	if m.hierOn() && scount > 0 && int64(scount)*sdt.Size() == int64(rcount)*rdt.Size() {
+		m.hierAlltoall(sendBuf, sdt, scount, recvBuf, rdt, rcount)
+		return
+	}
+	m.alltoallFlat(sendBuf, sdt, scount, recvBuf, rdt, rcount)
+}
+
+// alltoallFlat is the topology-blind pairwise exchange.
+func (m *Rank) alltoallFlat(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
 	size := m.Size()
 	tag := collTagBase + m.collSeq
@@ -111,7 +124,9 @@ func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
 	sw, sok := contigWindow(src, sdt, scount)
 	dw, dok := contigWindow(dst, rdt, rcount)
 	if sok && dok {
-		m.ctx.Memcpy(m.p, dw.Slice(0, packed), sw.Slice(0, packed))
+		m.mustRetry(m.p, "local.copy", func() error {
+			return m.ctx.Memcpy(m.p, dw.Slice(0, packed), sw.Slice(0, packed))
+		})
 		return
 	}
 	var stage mem.Buffer
@@ -128,7 +143,9 @@ func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
 		// Host source into device stage: copy then treat as packed.
 		hs := m.scratch(packed)
 		m.CPUPack(m.p, src, sdt, scount, hs.Slice(0, packed))
-		m.ctx.Memcpy(m.p, window, hs.Slice(0, packed))
+		m.mustRetry(m.p, "local.copy", func() error {
+			return m.ctx.Memcpy(m.p, window, hs.Slice(0, packed))
+		})
 		m.freeScratch(hs)
 	} else {
 		m.CPUPack(m.p, src, sdt, scount, window)
@@ -137,7 +154,9 @@ func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
 		m.engineFor(dst).Unpack(m.p, dst, rdt, rcount, window)
 	} else if window.Kind() == mem.Device {
 		hs := m.scratch(packed)
-		m.ctx.Memcpy(m.p, hs.Slice(0, packed), window)
+		m.mustRetry(m.p, "local.copy", func() error {
+			return m.ctx.Memcpy(m.p, hs.Slice(0, packed), window)
+		})
 		m.CPUUnpack(m.p, dst, rdt, rcount, hs.Slice(0, packed))
 		m.freeScratch(hs)
 	} else {

@@ -1,0 +1,328 @@
+package mpi
+
+import (
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+// Topology-aware collectives. On a blocked multi-node layout (see
+// detectHierarchy) each collective runs in phases: an intra-node phase
+// over the shared-memory/PCIe channels, and an inter-node phase in
+// which one leader per node (the node's first rank, or the collective
+// root acting for its own node) carries the aggregated traffic over
+// the IB tier. The flat algorithms in coll.go/coll2.go/reduce.go are
+// the fallback for every other layout and produce byte-identical
+// buffers; Proto.FlatCollectives forces them for differential testing.
+//
+// Tag discipline: every hierarchical phase draws its tags from the
+// same collTagBase block the flat algorithms use, and every rank
+// advances collSeq by the same amount (the dispatch decision is a
+// world-level property), so collective and point-to-point traffic can
+// interleave freely.
+
+// hierOn reports whether this world's collectives run the hierarchical
+// algorithms.
+func (m *Rank) hierOn() bool { return m.w.TopologyAware() }
+
+// nodeGroup returns the ranks placed on the given node, in rank order.
+func (m *Rank) nodeGroup(node int) []int {
+	rpn := m.w.hier.rpn
+	g := make([]int, rpn)
+	for i := range g {
+		g[i] = node*rpn + i
+	}
+	return g
+}
+
+func groupIndex(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic("mpi: rank not in collective group")
+}
+
+// bcastBinomial broadcasts (buf, dt, count) from group[rootIdx] to the
+// other members of group over a binomial tree (the flat Bcast schedule
+// restricted to the group) on the given tag. Every member must call it.
+func (m *Rank) bcastBinomial(group []int, rootIdx int, buf mem.Buffer, dt *datatype.Datatype, count, tag int) {
+	size := len(group)
+	if size <= 1 {
+		return
+	}
+	vrank := (groupIndex(group, m.rank) - rootIdx + size) % size
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			m.Recv(buf, dt, count, group[((vrank-mask)+rootIdx)%size], tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
+			m.Send(buf, dt, count, group[(vrank+mask+rootIdx)%size], tag)
+		}
+		mask >>= 1
+	}
+}
+
+// actingLeader returns the rank speaking for node on the IB tier: the
+// node's first rank, except on the root's node where the root itself
+// leads (saving an intra-node forward of the root's data).
+func (m *Rank) actingLeader(node, root int) int {
+	if node == root/m.w.hier.rpn {
+		return root
+	}
+	return node * m.w.hier.rpn
+}
+
+// leaderGroup returns every node's acting leader, in node order.
+func (m *Rank) leaderGroup(root int) []int {
+	g := make([]int, m.w.hier.nodes)
+	for nd := range g {
+		g[nd] = m.actingLeader(nd, root)
+	}
+	return g
+}
+
+// hierBcast: binomial over the per-node leaders on the IB tier, then
+// binomial within each node over shared memory.
+func (m *Rank) hierBcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
+	tag := collTagBase + m.collSeq
+	m.collSeq += 2
+	h := m.w.hier
+	myNode := m.rank / h.rpn
+	lead := m.actingLeader(myNode, root)
+	if m.rank == lead {
+		sp := m.p.BeginBytes("coll.bcast.inter", int64(count)*dt.Size())
+		m.bcastBinomial(m.leaderGroup(root), root/h.rpn, buf, dt, count, tag)
+		sp.End()
+	}
+	sp := m.p.BeginBytes("coll.bcast.intra", int64(count)*dt.Size())
+	g := m.nodeGroup(myNode)
+	m.bcastBinomial(g, groupIndex(g, lead), buf, dt, count, tag+1)
+	sp.End()
+}
+
+// hierAllgather: each node's slots are gathered to its leader in place,
+// the leaders ring whole node slabs over the IB tier (one message per
+// step carrying rpn slots, instead of the flat ring's size-1 slot-sized
+// hops per rank), and each leader broadcasts the assembled buffer to
+// its node. Slot r starts at r*count*extent, so a node's rpn
+// consecutive slots — and the whole buffer — are themselves valid
+// (dt, k*count) views, which keeps every wire hop inside the datatype
+// engine.
+func (m *Rank) hierAllgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += 2 * size
+	h := m.w.hier
+	rpn, nnodes := h.rpn, h.nodes
+	myNode := m.rank / rpn
+	li := m.rank % rpn
+	lead := myNode * rpn
+	stride := int64(count) * dt.Extent()
+	packed := int64(count) * dt.Size()
+
+	tagIn := tag
+	tagRing := tag + rpn
+	tagOut := tag + rpn + nnodes
+
+	slot := func(r int) mem.Buffer {
+		return buf.Slice(int64(r)*stride, spanOf(dt, count))
+	}
+
+	// Phase 1: gather the node's slots at the leader, in place.
+	sp := m.p.BeginBytes("coll.allgather.intra", packed)
+	if li != 0 {
+		m.Send(slot(m.rank), dt, count, lead, tagIn+li)
+	} else {
+		reqs := make([]*Request, 0, rpn-1)
+		for i := 1; i < rpn; i++ {
+			reqs = append(reqs, m.Irecv(slot(lead+i), dt, count, lead+i, tagIn+i))
+		}
+		for _, rq := range reqs {
+			rq.Wait(m.p)
+		}
+	}
+	sp.End()
+
+	// Phase 2: leaders ring aggregated node slabs over the IB tier.
+	if li == 0 && nnodes > 1 {
+		slab := func(node int) mem.Buffer {
+			return buf.Slice(int64(node)*int64(rpn)*stride, spanOf(dt, rpn*count))
+		}
+		sp := m.p.BeginBytes("coll.allgather.inter", packed*int64(rpn)*int64(nnodes-1))
+		right := (myNode + 1) % nnodes
+		left := (myNode - 1 + nnodes) % nnodes
+		for s := 0; s < nnodes-1; s++ {
+			sendBlk := (myNode - s + nnodes) % nnodes
+			recvBlk := (myNode - s - 1 + nnodes) % nnodes
+			sreq := m.Isend(slab(sendBlk), dt, rpn*count, right*rpn, tagRing+s)
+			rreq := m.Irecv(slab(recvBlk), dt, rpn*count, left*rpn, tagRing+s)
+			sreq.Wait(m.p)
+			rreq.Wait(m.p)
+		}
+		sp.End()
+	}
+
+	// Phase 3: broadcast the assembled buffer within each node.
+	sp = m.p.BeginBytes("coll.allgather.intra", packed*int64(size))
+	m.bcastBinomial(m.nodeGroup(myNode), 0, buf, dt, size*count, tagOut)
+	sp.End()
+}
+
+// hierAlltoall aggregates each node's outgoing traffic at its leader
+// and exchanges one large message per node pair over the IB tier —
+// nodes² wire messages instead of the flat algorithm's ranks² — at the
+// cost of staging the node's traffic through leader host scratch.
+//
+// With P ranks, R ranks per node and B packed bytes per (src, dst)
+// pair, the leader's send stage holds its members' packed send buffers
+// back to back (member li at offset li*P*B); the block member li sends
+// to global rank d*R+di sits at li*P*B + (d*R+di)*B, so the traffic
+// bound for node d is an Hvector of R blocks of R*B bytes with stride
+// P*B. The receive stage is source-major — src node s's block at
+// s*R*R*B, inside it src member li at li*R*B, dest member di at di*B —
+// so dest member di's column is an Hvector of P blocks of B bytes with
+// stride R*B, which unpacks straight into (rdt, rcount*P) in rank
+// order.
+func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += 2 * size
+	h := m.w.hier
+	rpn, nnodes := h.rpn, h.nodes
+	myNode := m.rank / rpn
+	li := m.rank % rpn
+	lead := myNode * rpn
+	B := int64(scount) * sdt.Size()
+	P := int64(size)
+
+	tagIn := tag
+	tagInter := tag + rpn
+	tagOut := tag + rpn + 1
+
+	if li != 0 {
+		// Members hand their whole send buffer to the leader and receive
+		// their column of the node's inbound traffic back; both transfers
+		// ride the signature rule that any layout may be received as the
+		// same number of packed bytes.
+		sp := m.p.BeginBytes("coll.alltoall.intra", B*P)
+		m.Send(sendBuf, sdt, scount*size, lead, tagIn+li)
+		m.Recv(recvBuf, rdt, rcount*size, lead, tagOut+li)
+		sp.End()
+		return
+	}
+
+	sendStage := m.scratch(int64(rpn) * P * B)
+	recvStage := m.scratch(P * int64(rpn) * B)
+
+	// Phase 1: collect the members' packed send buffers.
+	sp := m.p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
+	reqs := make([]*Request, 0, rpn-1)
+	for i := 1; i < rpn; i++ {
+		reqs = append(reqs, m.Irecv(sendStage.Slice(int64(i)*P*B, P*B), datatype.Byte, int(P*B), lead+i, tagIn+i))
+	}
+	m.localCopy(sendBuf, sdt, scount*size, sendStage.Slice(0, P*B), datatype.Byte, int(P*B))
+	for _, rq := range reqs {
+		rq.Wait(m.p)
+	}
+	sp.End()
+
+	// Phase 2: pairwise exchange of per-node aggregates.
+	nodeBlk := int64(rpn) * int64(rpn) * B
+	sendTo := func(d int) (mem.Buffer, *datatype.Datatype) {
+		base := int64(d) * int64(rpn) * B
+		span := int64(rpn-1)*P*B + int64(rpn)*B
+		return sendStage.Slice(base, span), datatype.Hvector(rpn, int(int64(rpn)*B), P*B, datatype.Byte)
+	}
+	inbound := func(s int) mem.Buffer {
+		return recvStage.Slice(int64(s)*nodeBlk, nodeBlk)
+	}
+	{
+		src, hv := sendTo(myNode)
+		m.localCopy(src, hv, 1, inbound(myNode), datatype.Byte, int(nodeBlk))
+	}
+	if nnodes > 1 {
+		sp := m.p.BeginBytes("coll.alltoall.inter", nodeBlk*int64(nnodes-1))
+		pow2 := nnodes&(nnodes-1) == 0
+		for s := 1; s < nnodes; s++ {
+			var dNode, sNode int
+			if pow2 {
+				dNode = myNode ^ s
+				sNode = dNode
+			} else {
+				dNode = (myNode + s) % nnodes
+				sNode = (myNode - s + nnodes) % nnodes
+			}
+			src, hv := sendTo(dNode)
+			sreq := m.Isend(src, hv, 1, dNode*rpn, tagInter)
+			rreq := m.Irecv(inbound(sNode), datatype.Byte, int(nodeBlk), sNode*rpn, tagInter)
+			sreq.Wait(m.p)
+			rreq.Wait(m.p)
+		}
+		sp.End()
+	}
+
+	// Phase 3: hand each member its column of the receive stage.
+	colSpan := (P-1)*int64(rpn)*B + B
+	col := func(di int) (mem.Buffer, *datatype.Datatype) {
+		return recvStage.Slice(int64(di)*B, colSpan), datatype.Hvector(int(P), int(B), int64(rpn)*B, datatype.Byte)
+	}
+	sp = m.p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
+	for di := 1; di < rpn; di++ {
+		src, hv := col(di)
+		m.Send(src, hv, 1, lead+di, tagOut+di)
+	}
+	{
+		src, hv := col(0)
+		m.localCopy(src, hv, 1, recvBuf, rdt, rcount*size)
+	}
+	sp.End()
+
+	m.freeScratch(recvStage)
+	m.freeScratch(sendStage)
+}
+
+// hierReduce: binomial reduction to the leader within each node, then
+// binomial over the acting leaders to the root. The combine association
+// differs from the flat tree — exact for Int64 and OpMax; Float64 sums
+// may round differently, as on any real topology-aware MPI.
+func (m *Rank) hierReduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+	prim := reducePrim(dt)
+	n := int64(count) * dt.Size()
+	size := m.Size()
+	tag := collTagBase + m.collSeq
+	m.collSeq += 2 * size
+	h := m.w.hier
+	myNode := m.rank / h.rpn
+	lead := m.actingLeader(myNode, root)
+
+	var acc mem.Buffer
+	if m.rank == root {
+		acc = recvBuf.Slice(0, n)
+	} else if sendBuf.Kind() == mem.Device {
+		acc = m.ringBuf(sendBuf.Space(), n).Slice(0, n)
+	} else {
+		acc = m.scratch(n).Slice(0, n)
+	}
+	m.localCopy(sendBuf, dt, count, acc, dt, count)
+
+	g := m.nodeGroup(myNode)
+	sp := m.p.BeginBytes("coll.reduce.intra", n)
+	m.binomialReduce(g, groupIndex(g, lead), acc, dt, count, prim, op, tag)
+	sp.End()
+	if m.rank == lead {
+		sp := m.p.BeginBytes("coll.reduce.inter", n)
+		m.binomialReduce(m.leaderGroup(root), root/h.rpn, acc, dt, count, prim, op, tag+size)
+		sp.End()
+	}
+	if m.rank != root {
+		m.releaseAccum(acc)
+	}
+}

@@ -19,11 +19,24 @@ const (
 )
 
 // Reduce combines count primitives of dt from every rank's sendBuf into
-// root's recvBuf over a binomial tree. dt must be a contiguous layout of
-// a single primitive type (Float64 or Int64). The combine runs as a
-// memory-bound GPU kernel when the buffers live in device memory, and
-// on the CPU (charging the host bus) otherwise.
+// root's recvBuf. dt must be a contiguous layout of a single primitive
+// type (Float64 or Int64). The combine runs as a memory-bound GPU
+// kernel when the buffers live in device memory, and on the CPU
+// (charging the host bus) otherwise. Topology-aware worlds reduce
+// within each node first and then over one leader per node on the IB
+// tier — note the different combine association order; exact for Int64
+// and OpMax, and for Float64 values whose partial sums are exactly
+// representable.
 func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+	if m.hierOn() && count > 0 {
+		m.hierReduce(sendBuf, recvBuf, dt, count, op, root)
+		return
+	}
+	m.reduceFlat(sendBuf, recvBuf, dt, count, op, root)
+}
+
+// reduceFlat is the topology-blind binomial reduction.
+func (m *Rank) reduceFlat(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
 	prim := reducePrim(dt)
 	n := int64(count) * dt.Size()
 	size := m.Size()
@@ -41,18 +54,53 @@ func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count 
 		acc = m.scratch(n).Slice(0, n)
 	}
 	m.localCopy(sendBuf, dt, count, acc, dt, count)
+	m.binomialReduce(identityGroup(size), root, acc, dt, count, prim, op, tag)
+	if m.rank != root {
+		m.releaseAccum(acc)
+	}
+}
 
+// identityGroup returns [0, 1, ..., size).
+func identityGroup(size int) []int {
+	g := make([]int, size)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// binomialReduce combines every group member's acc — already holding
+// its contribution — into group[rootIdx]'s acc, over a binomial tree
+// rotated so the root is virtual rank 0. Per-child messages are tagged
+// tag + sender's global rank. Only ranks in group may call it, and all
+// of them must.
+func (m *Rank) binomialReduce(group []int, rootIdx int, acc mem.Buffer, dt *datatype.Datatype, count int, prim datatype.Primitive, op Op, tag int) {
+	size := len(group)
+	if size <= 1 {
+		return
+	}
+	me := -1
+	for i, r := range group {
+		if r == m.rank {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		panic("mpi: binomialReduce caller not in group")
+	}
+	n := acc.Len()
 	var tmp mem.Buffer
-	vrank := (m.rank - root + size) % size
+	vrank := (me - rootIdx + size) % size
 	mask := 1
 	for mask < size {
 		if vrank&mask != 0 {
-			parent := ((vrank &^ mask) + root) % size
+			parent := group[((vrank&^mask)+rootIdx)%size]
 			m.Send(acc, dt, count, parent, tag+m.rank)
 			break
 		}
 		if peer := vrank | mask; peer < size {
-			child := (peer + root) % size
+			child := group[(peer+rootIdx)%size]
 			if !tmp.IsValid() {
 				if acc.Kind() == mem.Device {
 					tmp = m.ringBuf(acc.Space(), n).Slice(0, n)
@@ -64,10 +112,6 @@ func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count 
 			m.combine(acc, tmp, prim, op)
 		}
 		mask <<= 1
-	}
-	// Release scratch accumulators.
-	if m.rank != root {
-		m.releaseAccum(acc)
 	}
 	if tmp.IsValid() {
 		m.releaseAccum(tmp)

@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"gpuddt/internal/cuda"
+	"gpuddt/internal/fault"
 	"gpuddt/internal/mem"
 	"gpuddt/internal/sim"
 )
@@ -13,14 +15,20 @@ import (
 // between attempts (the PML's recovery timer). The fault injector has
 // already charged the detection latency — the virtual time a real stack
 // spends waiting for the timeout or the error CQE — by the time fn
-// returns an error, so this loop only adds the deliberate backoff. With
-// a nil fault plan fn cannot fail and the loop costs nothing.
+// returns an error, so this loop only adds the deliberate backoff. A
+// fault classified persistent (errors.Is fault.ErrPersistent) aborts
+// the loop immediately: retrying a dead path would only burn backoff
+// before the same failure. With a nil fault plan fn cannot fail and the
+// loop costs nothing.
 func (m *Rank) withRetry(p *sim.Proc, what string, fn func() error) error {
 	max := m.w.faults.MaxAttempts()
 	var err error
 	for attempt := 0; attempt < max; attempt++ {
 		if err = fn(); err == nil {
 			return nil
+		}
+		if errors.Is(err, fault.ErrPersistent) {
+			break
 		}
 		if attempt+1 >= max {
 			break

@@ -81,6 +81,12 @@ type ProtoOptions struct {
 	// RemoteAccessEff derates PCIe efficiency when a kernel accesses
 	// remote device memory directly (many small scattered reads).
 	RemoteAccessEff float64
+
+	// FlatCollectives forces the topology-blind collective algorithms
+	// even when the rank layout supports the hierarchical ones. Used by
+	// conformance (byte-identity against the flat baseline) and by the
+	// scaling benchmark's flat arm.
+	FlatCollectives bool
 }
 
 func (o *ProtoOptions) setDefaults() {
@@ -109,8 +115,45 @@ type World struct {
 	fabric *ib.Fabric
 	hcas   []*ib.HCA
 	ranks  []*Rank
+	hier   hierarchy
 	faults *fault.Injector // nil when cfg.Faults is nil
 	wins   [][]mem.Buffer  // RMA window registry: wins[id][rank]
+}
+
+// hierarchy is the node grouping the topology-aware collectives run
+// over. It is only recognized for a blocked uniform layout — rank r on
+// node r/rpn — because the hierarchical algorithms aggregate each
+// node's slots as one contiguous slab; any other layout (or a single
+// node, or one rank per node) keeps the zero value and the collectives
+// stay flat.
+type hierarchy struct {
+	nodes int // nodes hosting ranks
+	rpn   int // ranks per node
+}
+
+func detectHierarchy(ranks []Placement) hierarchy {
+	nodes := 0
+	for _, pl := range ranks {
+		if pl.Node >= nodes {
+			nodes = pl.Node + 1
+		}
+	}
+	if nodes == 0 || len(ranks)%nodes != 0 {
+		return hierarchy{}
+	}
+	rpn := len(ranks) / nodes
+	for r, pl := range ranks {
+		if pl.Node != r/rpn {
+			return hierarchy{}
+		}
+	}
+	return hierarchy{nodes: nodes, rpn: rpn}
+}
+
+// TopologyAware reports whether the world's collectives run the
+// hierarchical (leader-based) algorithms rather than the flat ones.
+func (w *World) TopologyAware() bool {
+	return w.hier.nodes > 1 && w.hier.rpn > 1 && !w.cfg.Proto.FlatCollectives
 }
 
 // NewWorld builds the cluster and one Rank per placement.
@@ -145,6 +188,7 @@ func NewWorld(cfg Config) *World {
 	cfg.Proto.setDefaults()
 
 	w := &World{eng: sim.NewEngine(), cfg: cfg}
+	w.hier = detectHierarchy(cfg.Ranks)
 	w.faults = fault.NewInjector(cfg.Faults)
 	w.fabric = ib.NewFabric(w.eng, cfg.IB)
 	w.fabric.SetFaults(w.faults)
