@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check chaos-check scale-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check scale-check vcoll-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -58,6 +58,20 @@ scale-check:
 	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-a.json
 	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-b.json
 	cmp /tmp/scale-a.json /tmp/scale-b.json
+
+# Irregular/nonblocking collective gate: the v-variant conformance
+# oracle (irregular counts vs the reference walker across CPU/GPU ×
+# hier/flat × eager/rendezvous), the race-enabled v-variant +
+# nonblocking-request tests (concurrent I*, Waitall, chaos recovery,
+# quiescent staging), the pinned >= 30% overlap fraction with its
+# golden figure and Chrome trace, and a fuzz smoke on the count-matrix
+# target.
+vcoll-check:
+	$(GO) test ./internal/conformance -run 'TestVColl'
+	$(GO) test -race ./internal/mpi -run 'TestVColl|TestAlltoallv|TestAllgatherv|TestGathervScatterv|TestIcoll'
+	$(GO) test ./internal/trace -run TestComputeOverlap
+	$(GO) test ./internal/bench -run 'TestOverlapFractionPinned|TestOverlapGoldenTrace|TestGoldenFigures$$'
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzAlltoallvCounts -fuzztime 10s
 
 # Longer fuzzing session against the differential oracle.
 fuzz:

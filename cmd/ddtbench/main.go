@@ -26,7 +26,7 @@ import (
 func Run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("ddtbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	figure := fs.String("figure", "all", "figure to regenerate: fig1, fig6..fig12 (a/b/c for fig10), sec5.3, sec5.4, apps, whatif-gpu, ablations, all")
+	figure := fs.String("figure", "all", "figure to regenerate: fig1, fig6..fig12 (a/b/c for fig10), sec5.3, sec5.4, apps, whatif-gpu, overlap, ablations, all")
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: figure-specific sweep)")
 	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")

@@ -37,6 +37,7 @@ func TestGoldenFigures(t *testing.T) {
 		{"a1", func() *bench.Figure { return bench.AblationUnitSize(512, []int64{256, 1024, 4096}) }},
 		{"a2", func() *bench.Figure { return bench.AblationPipeline(512, []int64{256 << 10, 1 << 20}) }},
 		{"a3", func() *bench.Figure { return bench.AblationRemoteUnpack([]int{512}) }},
+		{"overlap", func() *bench.Figure { return bench.OverlapFigure([]int{256, 512}) }},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,68 @@
+package bench_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpuddt/internal/bench"
+	"gpuddt/internal/trace"
+)
+
+// TestOverlapFractionPinned pins the acceptance criterion of the
+// nonblocking-collective work: on the two-node world, at least 30% of
+// the Iallgatherv's wire time must be hidden behind application compute
+// kernels, as measured by trace-phase attribution (not by comparing
+// makespans).
+func TestOverlapFractionPinned(t *testing.T) {
+	r := bench.OverlapColl(256, 4, 64<<20)
+	if frac := r.Attr.HiddenFrac(); frac < 0.30 {
+		t.Fatalf("hidden fraction = %.3f (wire %v, compute %v, hidden %v), want >= 0.30",
+			frac, r.Attr.Wire, r.Attr.Compute, r.Attr.Hidden)
+	}
+	if r.Overlapped >= r.Blocking {
+		t.Fatalf("overlapped makespan %v not faster than blocking %v", r.Overlapped, r.Blocking)
+	}
+	if r.Attr.Wire == 0 || r.Attr.Compute == 0 {
+		t.Fatalf("attribution degenerate: %+v", r.Attr)
+	}
+}
+
+// TestOverlapGoldenTrace records the kernel-overlapped Iallgatherv run
+// as a Chrome trace and compares it byte-for-byte against the committed
+// golden. The simulator and the trace writer are both deterministic, so
+// any drift is a real behavioural change; re-record intended changes
+// with -update.
+func TestOverlapGoldenTrace(t *testing.T) {
+	runs, stop := bench.CollectTraces()
+	bench.OverlapColl(256, 4, 64<<20)
+	stop()
+	if len(*runs) != 2 {
+		t.Fatalf("collected %d runs, want 2 (blocking + overlapped)", len(*runs))
+	}
+	for _, run := range *runs {
+		if err := run.Rec.Validate(); err != nil {
+			t.Fatalf("run %q: %v", run.Name, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, *runs...); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "overlap_trace.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("overlap Chrome trace drifted from golden %s (%d vs %d bytes); re-record with -update if intended",
+			path, buf.Len(), len(want))
+	}
+}

@@ -55,6 +55,7 @@ func Runners() []Runner {
 		{ID: "sec5.4", Run: func(c SweepConfig) *Figure { return Sec54(2048, []float64{0, 0.25, 0.5, 0.75, 0.9}) }},
 		{ID: "apps", Run: func(c SweepConfig) *Figure { return Apps() }},
 		{ID: "whatif-gpu", Run: func(c SweepConfig) *Figure { return WhatIfGPU(4096) }},
+		{ID: "overlap", Run: func(c SweepConfig) *Figure { return OverlapFigure([]int{256, 512, 1024}) }},
 		{ID: "ablation-unitsize", Group: "ablations", Run: func(c SweepConfig) *Figure {
 			return AblationUnitSize(2048, []int64{256, 512, 1024, 2048, 4096})
 		}},

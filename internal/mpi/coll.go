@@ -3,17 +3,45 @@ package mpi
 import (
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
 )
 
 // Collectives built on the datatype-aware point-to-point layer. The
 // paper's conclusion positions the GPU datatype engine as the substrate
 // for "any point-to-point, collective, I/O and one-sided" operation;
-// these two collectives demonstrate that the engine composes: every hop
+// these collectives demonstrate that the engine composes: every hop
 // packs/unpacks GPU-resident non-contiguous data through the same
 // pipelined protocols.
+//
+// Every algorithm takes an explicit *sim.Proc and a pre-reserved tag
+// block: the public blocking entry points pass the rank's main process,
+// while the nonblocking I* variants (icoll.go) reserve tags at call
+// time and run the same schedule on a spawned progress process.
 
 // collTagBase keeps collective traffic out of the user's tag space.
 const collTagBase = 1 << 20
+
+// tagBlock reserves n consecutive collective tags and returns the
+// first. Reservation happens at call time — before any nonblocking
+// schedule is spawned — so concurrent collectives draw disjoint tag
+// ranges and every rank advances collSeq identically. Budgets depend
+// only on the world size, never on the data or topology path taken, so
+// the reservation is symmetric across ranks by construction.
+func (m *Rank) tagBlock(n int) int {
+	t := collTagBase + m.collSeq
+	m.collSeq += n
+	return t
+}
+
+// Per-collective tag budgets (see tagBlock). Each is the worst case of
+// the flat and hierarchical schedules for that operation.
+func (m *Rank) bcastTags() int     { return 2 }
+func (m *Rank) allgatherTags() int { return 2 * m.Size() }
+func (m *Rank) alltoallTags() int  { return 2 * m.Size() }
+func (m *Rank) gatherTags() int    { return m.Size() }
+func (m *Rank) reduceTags() int    { return 2 * m.Size() }
+func (m *Rank) barrierTags() int   { return m.Size() }
+func (m *Rank) alltoallvTags() int { return 4 * m.Size() }
 
 // Bcast broadcasts count elements of dt from root. Every rank's buf
 // must describe the same signature. On a multi-node world with several
@@ -22,23 +50,25 @@ const collTagBase = 1 << 20
 // within each node over the shared-memory tier; otherwise it is the
 // flat binomial tree.
 func (m *Rank) Bcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
+	m.bcast(m.p, m.tagBlock(m.bcastTags()), buf, dt, count, root)
+}
+
+func (m *Rank) bcast(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count, root int) {
 	if m.hierOn() && count > 0 {
-		m.hierBcast(buf, dt, count, root)
+		m.hierBcast(p, tag, buf, dt, count, root)
 		return
 	}
-	m.bcastFlat(buf, dt, count, root)
+	m.bcastFlat(p, tag, buf, dt, count, root)
 }
 
 // bcastFlat is the topology-blind binomial broadcast.
-func (m *Rank) bcastFlat(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
+func (m *Rank) bcastFlat(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count, root int) {
 	size := m.Size()
 	if size == 1 {
 		return
 	}
 	// Rotate ranks so the root is virtual rank 0.
 	vrank := (m.rank - root + size) % size
-	tag := collTagBase + m.collSeq
-	m.collSeq++
 
 	// Receive from the parent (highest set bit), then forward to
 	// children in decreasing mask order — the classic binomial tree.
@@ -46,7 +76,7 @@ func (m *Rank) bcastFlat(buf mem.Buffer, dt *datatype.Datatype, count, root int)
 	for mask < size {
 		if vrank&mask != 0 {
 			parent := ((vrank - mask) + root) % size
-			m.Recv(buf, dt, count, parent, tag)
+			m.recvOn(p, buf, dt, count, parent, tag)
 			break
 		}
 		mask <<= 1
@@ -55,7 +85,7 @@ func (m *Rank) bcastFlat(buf mem.Buffer, dt *datatype.Datatype, count, root int)
 	for mask > 0 {
 		if vrank+mask < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
 			child := (vrank + mask + root) % size
-			m.Send(buf, dt, count, child, tag)
+			m.sendOn(p, buf, dt, count, child, tag)
 		}
 		mask >>= 1
 	}
@@ -69,21 +99,23 @@ func (m *Rank) bcastFlat(buf mem.Buffer, dt *datatype.Datatype, count, root int)
 // leader first, ring the aggregated node slabs over the IB tier, and
 // broadcast the result within each node; otherwise the flat ring runs.
 func (m *Rank) Allgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
+	m.allgather(m.p, m.tagBlock(m.allgatherTags()), buf, dt, count)
+}
+
+func (m *Rank) allgather(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count int) {
 	if m.hierOn() && count > 0 {
-		m.hierAllgather(buf, dt, count)
+		m.hierAllgather(p, tag, buf, dt, count)
 		return
 	}
-	m.allgatherFlat(buf, dt, count)
+	m.allgatherFlat(p, tag, buf, dt, count)
 }
 
 // allgatherFlat is the topology-blind ring algorithm.
-func (m *Rank) allgatherFlat(buf mem.Buffer, dt *datatype.Datatype, count int) {
+func (m *Rank) allgatherFlat(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count int) {
 	size := m.Size()
 	if size == 1 {
 		return
 	}
-	tag := collTagBase + m.collSeq
-	m.collSeq += size
 	stride := int64(count) * dt.Extent()
 	sliceLen := spanOf(dt, count)
 	slot := func(r int) mem.Buffer {
@@ -96,10 +128,10 @@ func (m *Rank) allgatherFlat(buf mem.Buffer, dt *datatype.Datatype, count int) {
 	for s := 0; s < size-1; s++ {
 		sendBlk := (m.rank - s + size) % size
 		recvBlk := (m.rank - s - 1 + size) % size
-		sreq := m.Isend(slot(sendBlk), dt, count, right, tag+s)
+		sreq := m.isendOn(p, slot(sendBlk), dt, count, right, tag+s)
 		rreq := m.Irecv(slot(recvBlk), dt, count, left, tag+s)
-		sreq.Wait(m.p)
-		rreq.Wait(m.p)
+		sreq.Wait(p)
+		rreq.Wait(p)
 	}
 }
 

@@ -3,6 +3,7 @@ package mpi
 import (
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
 )
 
 // Gather collects each rank's (sendBuf, sdt, scount) into rank root's
@@ -10,11 +11,14 @@ import (
 // algorithm; non-root ranks pass an invalid recvBuf.
 func (m *Rank) Gather(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	m.gather(m.p, m.tagBlock(m.gatherTags()), sendBuf, sdt, scount, recvBuf, rdt, rcount, root)
+}
+
+func (m *Rank) gather(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += size
 	if m.rank != root {
-		m.Send(sendBuf, sdt, scount, root, tag+m.rank)
+		m.sendOn(p, sendBuf, sdt, scount, root, tag+m.rank)
 		return
 	}
 	stride := int64(rcount) * rdt.Extent()
@@ -24,13 +28,13 @@ func (m *Rank) Gather(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 		slot := recvBuf.Slice(int64(r)*stride, sliceLen)
 		if r == root {
 			// Local copy through the datatype engines.
-			m.localCopy(sendBuf, sdt, scount, slot, rdt, rcount)
+			m.localCopy(p, sendBuf, sdt, scount, slot, rdt, rcount)
 			continue
 		}
 		reqs = append(reqs, m.Irecv(slot, rdt, rcount, r, tag+r))
 	}
 	for _, rq := range reqs {
-		rq.Wait(m.p)
+		rq.Wait(p)
 	}
 }
 
@@ -38,11 +42,14 @@ func (m *Rank) Gather(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 // to rank r's recvBuf. Linear algorithm.
 func (m *Rank) Scatter(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	m.scatter(m.p, m.tagBlock(m.gatherTags()), sendBuf, sdt, scount, recvBuf, rdt, rcount, root)
+}
+
+func (m *Rank) scatter(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += size
 	if m.rank != root {
-		m.Recv(recvBuf, rdt, rcount, root, tag+m.rank)
+		m.recvOn(p, recvBuf, rdt, rcount, root, tag+m.rank)
 		return
 	}
 	stride := int64(scount) * sdt.Extent()
@@ -51,13 +58,13 @@ func (m *Rank) Scatter(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	for r := 0; r < size; r++ {
 		slot := sendBuf.Slice(int64(r)*stride, sliceLen)
 		if r == root {
-			m.localCopy(slot, sdt, scount, recvBuf, rdt, rcount)
+			m.localCopy(p, slot, sdt, scount, recvBuf, rdt, rcount)
 			continue
 		}
-		reqs = append(reqs, m.Isend(slot, sdt, scount, r, tag+r))
+		reqs = append(reqs, m.isendOn(p, slot, sdt, scount, r, tag+r))
 	}
 	for _, rq := range reqs {
-		rq.Wait(m.p)
+		rq.Wait(p)
 	}
 }
 
@@ -70,26 +77,29 @@ func (m *Rank) Scatter(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 // (rank+s, rank-s) otherwise.
 func (m *Rank) Alltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
+	m.alltoall(m.p, m.tagBlock(m.alltoallTags()), sendBuf, sdt, scount, recvBuf, rdt, rcount)
+}
+
+func (m *Rank) alltoall(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
 	if m.hierOn() && scount > 0 && int64(scount)*sdt.Size() == int64(rcount)*rdt.Size() {
-		m.hierAlltoall(sendBuf, sdt, scount, recvBuf, rdt, rcount)
+		m.hierAlltoall(p, tag, sendBuf, sdt, scount, recvBuf, rdt, rcount)
 		return
 	}
-	m.alltoallFlat(sendBuf, sdt, scount, recvBuf, rdt, rcount)
+	m.alltoallFlat(p, tag, sendBuf, sdt, scount, recvBuf, rdt, rcount)
 }
 
 // alltoallFlat is the topology-blind pairwise exchange.
-func (m *Rank) alltoallFlat(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+func (m *Rank) alltoallFlat(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += size
 	sstride := int64(scount) * sdt.Extent()
 	rstride := int64(rcount) * rdt.Extent()
 	sLen := spanOf(sdt, scount)
 	rLen := spanOf(rdt, rcount)
 
 	// Local slot first.
-	m.localCopy(
+	m.localCopy(p,
 		sendBuf.Slice(int64(m.rank)*sstride, sLen), sdt, scount,
 		recvBuf.Slice(int64(m.rank)*rstride, rLen), rdt, rcount)
 
@@ -103,10 +113,10 @@ func (m *Rank) alltoallFlat(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 			sendTo = (m.rank + s) % size
 			recvFrom = (m.rank - s + size) % size
 		}
-		sreq := m.Isend(sendBuf.Slice(int64(sendTo)*sstride, sLen), sdt, scount, sendTo, tag)
+		sreq := m.isendOn(p, sendBuf.Slice(int64(sendTo)*sstride, sLen), sdt, scount, sendTo, tag)
 		rreq := m.Irecv(recvBuf.Slice(int64(recvFrom)*rstride, rLen), rdt, rcount, recvFrom, tag)
-		sreq.Wait(m.p)
-		rreq.Wait(m.p)
+		sreq.Wait(p)
+		rreq.Wait(p)
 	}
 }
 
@@ -114,18 +124,21 @@ func (m *Rank) alltoallFlat(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 // rank, through packed form: GPU layouts use the datatype engine (pack
 // to a device scratch, unpack from it); host layouts use the CPU
 // converter.
-func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
+func (m *Rank) localCopy(p *sim.Proc, src mem.Buffer, sdt *datatype.Datatype, scount int,
 	dst mem.Buffer, rdt *datatype.Datatype, rcount int) {
 	packed := int64(scount) * sdt.Size()
 	if capacity := int64(rcount) * rdt.Size(); packed > capacity {
 		panic("mpi: local copy truncation")
 	}
+	if packed == 0 {
+		return
+	}
 	// Contiguous-to-contiguous short cut.
 	sw, sok := contigWindow(src, sdt, scount)
 	dw, dok := contigWindow(dst, rdt, rcount)
 	if sok && dok {
-		m.mustRetry(m.p, "local.copy", func() error {
-			return m.ctx.Memcpy(m.p, dw.Slice(0, packed), sw.Slice(0, packed))
+		m.mustRetry(p, "local.copy", func() error {
+			return m.ctx.Memcpy(p, dw.Slice(0, packed), sw.Slice(0, packed))
 		})
 		return
 	}
@@ -138,29 +151,29 @@ func (m *Rank) localCopy(src mem.Buffer, sdt *datatype.Datatype, scount int,
 	}
 	window := stage.Slice(0, packed)
 	if src.Kind() == mem.Device {
-		m.engineFor(src).Pack(m.p, src, sdt, scount, window)
+		m.engineFor(src).Pack(p, src, sdt, scount, window)
 	} else if window.Kind() == mem.Device {
 		// Host source into device stage: copy then treat as packed.
 		hs := m.scratch(packed)
-		m.CPUPack(m.p, src, sdt, scount, hs.Slice(0, packed))
-		m.mustRetry(m.p, "local.copy", func() error {
-			return m.ctx.Memcpy(m.p, window, hs.Slice(0, packed))
+		m.CPUPack(p, src, sdt, scount, hs.Slice(0, packed))
+		m.mustRetry(p, "local.copy", func() error {
+			return m.ctx.Memcpy(p, window, hs.Slice(0, packed))
 		})
 		m.freeScratch(hs)
 	} else {
-		m.CPUPack(m.p, src, sdt, scount, window)
+		m.CPUPack(p, src, sdt, scount, window)
 	}
 	if dst.Kind() == mem.Device {
-		m.engineFor(dst).Unpack(m.p, dst, rdt, rcount, window)
+		m.engineFor(dst).Unpack(p, dst, rdt, rcount, window)
 	} else if window.Kind() == mem.Device {
 		hs := m.scratch(packed)
-		m.mustRetry(m.p, "local.copy", func() error {
-			return m.ctx.Memcpy(m.p, hs.Slice(0, packed), window)
+		m.mustRetry(p, "local.copy", func() error {
+			return m.ctx.Memcpy(p, hs.Slice(0, packed), window)
 		})
-		m.CPUUnpack(m.p, dst, rdt, rcount, hs.Slice(0, packed))
+		m.CPUUnpack(p, dst, rdt, rcount, hs.Slice(0, packed))
 		m.freeScratch(hs)
 	} else {
-		m.CPUUnpack(m.p, dst, rdt, rcount, window)
+		m.CPUUnpack(p, dst, rdt, rcount, window)
 	}
 	if stage.Kind() == mem.Device {
 		m.releaseRing(stage)

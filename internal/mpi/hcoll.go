@@ -3,6 +3,7 @@ package mpi
 import (
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
 )
 
 // Topology-aware collectives. On a blocked multi-node layout (see
@@ -15,10 +16,10 @@ import (
 // buffers; Proto.FlatCollectives forces them for differential testing.
 //
 // Tag discipline: every hierarchical phase draws its tags from the
-// same collTagBase block the flat algorithms use, and every rank
-// advances collSeq by the same amount (the dispatch decision is a
-// world-level property), so collective and point-to-point traffic can
-// interleave freely.
+// block the caller reserved with tagBlock, and every rank reserves the
+// same amount at call time (the dispatch decision is a world-level
+// property), so collective and point-to-point traffic can interleave
+// freely — including several nonblocking collectives in flight at once.
 
 // hierOn reports whether this world's collectives run the hierarchical
 // algorithms.
@@ -46,7 +47,7 @@ func groupIndex(group []int, rank int) int {
 // bcastBinomial broadcasts (buf, dt, count) from group[rootIdx] to the
 // other members of group over a binomial tree (the flat Bcast schedule
 // restricted to the group) on the given tag. Every member must call it.
-func (m *Rank) bcastBinomial(group []int, rootIdx int, buf mem.Buffer, dt *datatype.Datatype, count, tag int) {
+func (m *Rank) bcastBinomial(p *sim.Proc, group []int, rootIdx int, buf mem.Buffer, dt *datatype.Datatype, count, tag int) {
 	size := len(group)
 	if size <= 1 {
 		return
@@ -55,7 +56,7 @@ func (m *Rank) bcastBinomial(group []int, rootIdx int, buf mem.Buffer, dt *datat
 	mask := 1
 	for mask < size {
 		if vrank&mask != 0 {
-			m.Recv(buf, dt, count, group[((vrank-mask)+rootIdx)%size], tag)
+			m.recvOn(p, buf, dt, count, group[((vrank-mask)+rootIdx)%size], tag)
 			break
 		}
 		mask <<= 1
@@ -63,7 +64,7 @@ func (m *Rank) bcastBinomial(group []int, rootIdx int, buf mem.Buffer, dt *datat
 	mask >>= 1
 	for mask > 0 {
 		if vrank+mask < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
-			m.Send(buf, dt, count, group[(vrank+mask+rootIdx)%size], tag)
+			m.sendOn(p, buf, dt, count, group[(vrank+mask+rootIdx)%size], tag)
 		}
 		mask >>= 1
 	}
@@ -90,20 +91,18 @@ func (m *Rank) leaderGroup(root int) []int {
 
 // hierBcast: binomial over the per-node leaders on the IB tier, then
 // binomial within each node over shared memory.
-func (m *Rank) hierBcast(buf mem.Buffer, dt *datatype.Datatype, count, root int) {
-	tag := collTagBase + m.collSeq
-	m.collSeq += 2
+func (m *Rank) hierBcast(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count, root int) {
 	h := m.w.hier
 	myNode := m.rank / h.rpn
 	lead := m.actingLeader(myNode, root)
 	if m.rank == lead {
-		sp := m.p.BeginBytes("coll.bcast.inter", int64(count)*dt.Size())
-		m.bcastBinomial(m.leaderGroup(root), root/h.rpn, buf, dt, count, tag)
+		sp := p.BeginBytes("coll.bcast.inter", int64(count)*dt.Size())
+		m.bcastBinomial(p, m.leaderGroup(root), root/h.rpn, buf, dt, count, tag)
 		sp.End()
 	}
-	sp := m.p.BeginBytes("coll.bcast.intra", int64(count)*dt.Size())
+	sp := p.BeginBytes("coll.bcast.intra", int64(count)*dt.Size())
 	g := m.nodeGroup(myNode)
-	m.bcastBinomial(g, groupIndex(g, lead), buf, dt, count, tag+1)
+	m.bcastBinomial(p, g, groupIndex(g, lead), buf, dt, count, tag+1)
 	sp.End()
 }
 
@@ -115,10 +114,8 @@ func (m *Rank) hierBcast(buf mem.Buffer, dt *datatype.Datatype, count, root int)
 // consecutive slots — and the whole buffer — are themselves valid
 // (dt, k*count) views, which keeps every wire hop inside the datatype
 // engine.
-func (m *Rank) hierAllgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
+func (m *Rank) hierAllgather(p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count int) {
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += 2 * size
 	h := m.w.hier
 	rpn, nnodes := h.rpn, h.nodes
 	myNode := m.rank / rpn
@@ -136,16 +133,16 @@ func (m *Rank) hierAllgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
 	}
 
 	// Phase 1: gather the node's slots at the leader, in place.
-	sp := m.p.BeginBytes("coll.allgather.intra", packed)
+	sp := p.BeginBytes("coll.allgather.intra", packed)
 	if li != 0 {
-		m.Send(slot(m.rank), dt, count, lead, tagIn+li)
+		m.sendOn(p, slot(m.rank), dt, count, lead, tagIn+li)
 	} else {
 		reqs := make([]*Request, 0, rpn-1)
 		for i := 1; i < rpn; i++ {
 			reqs = append(reqs, m.Irecv(slot(lead+i), dt, count, lead+i, tagIn+i))
 		}
 		for _, rq := range reqs {
-			rq.Wait(m.p)
+			rq.Wait(p)
 		}
 	}
 	sp.End()
@@ -155,23 +152,23 @@ func (m *Rank) hierAllgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
 		slab := func(node int) mem.Buffer {
 			return buf.Slice(int64(node)*int64(rpn)*stride, spanOf(dt, rpn*count))
 		}
-		sp := m.p.BeginBytes("coll.allgather.inter", packed*int64(rpn)*int64(nnodes-1))
+		sp := p.BeginBytes("coll.allgather.inter", packed*int64(rpn)*int64(nnodes-1))
 		right := (myNode + 1) % nnodes
 		left := (myNode - 1 + nnodes) % nnodes
 		for s := 0; s < nnodes-1; s++ {
 			sendBlk := (myNode - s + nnodes) % nnodes
 			recvBlk := (myNode - s - 1 + nnodes) % nnodes
-			sreq := m.Isend(slab(sendBlk), dt, rpn*count, right*rpn, tagRing+s)
+			sreq := m.isendOn(p, slab(sendBlk), dt, rpn*count, right*rpn, tagRing+s)
 			rreq := m.Irecv(slab(recvBlk), dt, rpn*count, left*rpn, tagRing+s)
-			sreq.Wait(m.p)
-			rreq.Wait(m.p)
+			sreq.Wait(p)
+			rreq.Wait(p)
 		}
 		sp.End()
 	}
 
 	// Phase 3: broadcast the assembled buffer within each node.
-	sp = m.p.BeginBytes("coll.allgather.intra", packed*int64(size))
-	m.bcastBinomial(m.nodeGroup(myNode), 0, buf, dt, size*count, tagOut)
+	sp = p.BeginBytes("coll.allgather.intra", packed*int64(size))
+	m.bcastBinomial(p, m.nodeGroup(myNode), 0, buf, dt, size*count, tagOut)
 	sp.End()
 }
 
@@ -190,11 +187,9 @@ func (m *Rank) hierAllgather(buf mem.Buffer, dt *datatype.Datatype, count int) {
 // so dest member di's column is an Hvector of P blocks of B bytes with
 // stride R*B, which unpacks straight into (rdt, rcount*P) in rank
 // order.
-func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+func (m *Rank) hierAlltoall(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
 	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount int) {
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += 2 * size
 	h := m.w.hier
 	rpn, nnodes := h.rpn, h.nodes
 	myNode := m.rank / rpn
@@ -212,9 +207,9 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 		// their column of the node's inbound traffic back; both transfers
 		// ride the signature rule that any layout may be received as the
 		// same number of packed bytes.
-		sp := m.p.BeginBytes("coll.alltoall.intra", B*P)
-		m.Send(sendBuf, sdt, scount*size, lead, tagIn+li)
-		m.Recv(recvBuf, rdt, rcount*size, lead, tagOut+li)
+		sp := p.BeginBytes("coll.alltoall.intra", B*P)
+		m.sendOn(p, sendBuf, sdt, scount*size, lead, tagIn+li)
+		m.recvOn(p, recvBuf, rdt, rcount*size, lead, tagOut+li)
 		sp.End()
 		return
 	}
@@ -223,14 +218,14 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 	recvStage := m.scratch(P * int64(rpn) * B)
 
 	// Phase 1: collect the members' packed send buffers.
-	sp := m.p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
+	sp := p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
 	reqs := make([]*Request, 0, rpn-1)
 	for i := 1; i < rpn; i++ {
 		reqs = append(reqs, m.Irecv(sendStage.Slice(int64(i)*P*B, P*B), datatype.Byte, int(P*B), lead+i, tagIn+i))
 	}
-	m.localCopy(sendBuf, sdt, scount*size, sendStage.Slice(0, P*B), datatype.Byte, int(P*B))
+	m.localCopy(p, sendBuf, sdt, scount*size, sendStage.Slice(0, P*B), datatype.Byte, int(P*B))
 	for _, rq := range reqs {
-		rq.Wait(m.p)
+		rq.Wait(p)
 	}
 	sp.End()
 
@@ -246,10 +241,10 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 	}
 	{
 		src, hv := sendTo(myNode)
-		m.localCopy(src, hv, 1, inbound(myNode), datatype.Byte, int(nodeBlk))
+		m.localCopy(p, src, hv, 1, inbound(myNode), datatype.Byte, int(nodeBlk))
 	}
 	if nnodes > 1 {
-		sp := m.p.BeginBytes("coll.alltoall.inter", nodeBlk*int64(nnodes-1))
+		sp := p.BeginBytes("coll.alltoall.inter", nodeBlk*int64(nnodes-1))
 		pow2 := nnodes&(nnodes-1) == 0
 		for s := 1; s < nnodes; s++ {
 			var dNode, sNode int
@@ -261,10 +256,10 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 				sNode = (myNode - s + nnodes) % nnodes
 			}
 			src, hv := sendTo(dNode)
-			sreq := m.Isend(src, hv, 1, dNode*rpn, tagInter)
+			sreq := m.isendOn(p, src, hv, 1, dNode*rpn, tagInter)
 			rreq := m.Irecv(inbound(sNode), datatype.Byte, int(nodeBlk), sNode*rpn, tagInter)
-			sreq.Wait(m.p)
-			rreq.Wait(m.p)
+			sreq.Wait(p)
+			rreq.Wait(p)
 		}
 		sp.End()
 	}
@@ -274,14 +269,14 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 	col := func(di int) (mem.Buffer, *datatype.Datatype) {
 		return recvStage.Slice(int64(di)*B, colSpan), datatype.Hvector(int(P), int(B), int64(rpn)*B, datatype.Byte)
 	}
-	sp = m.p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
+	sp = p.BeginBytes("coll.alltoall.intra", B*P*int64(rpn))
 	for di := 1; di < rpn; di++ {
 		src, hv := col(di)
-		m.Send(src, hv, 1, lead+di, tagOut+di)
+		m.sendOn(p, src, hv, 1, lead+di, tagOut+di)
 	}
 	{
 		src, hv := col(0)
-		m.localCopy(src, hv, 1, recvBuf, rdt, rcount*size)
+		m.localCopy(p, src, hv, 1, recvBuf, rdt, rcount*size)
 	}
 	sp.End()
 
@@ -293,12 +288,10 @@ func (m *Rank) hierAlltoall(sendBuf mem.Buffer, sdt *datatype.Datatype, scount i
 // binomial over the acting leaders to the root. The combine association
 // differs from the flat tree — exact for Int64 and OpMax; Float64 sums
 // may round differently, as on any real topology-aware MPI.
-func (m *Rank) hierReduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+func (m *Rank) hierReduce(p *sim.Proc, tag int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
 	prim := reducePrim(dt)
 	n := int64(count) * dt.Size()
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += 2 * size
 	h := m.w.hier
 	myNode := m.rank / h.rpn
 	lead := m.actingLeader(myNode, root)
@@ -311,15 +304,15 @@ func (m *Rank) hierReduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, co
 	} else {
 		acc = m.scratch(n).Slice(0, n)
 	}
-	m.localCopy(sendBuf, dt, count, acc, dt, count)
+	m.localCopy(p, sendBuf, dt, count, acc, dt, count)
 
 	g := m.nodeGroup(myNode)
-	sp := m.p.BeginBytes("coll.reduce.intra", n)
-	m.binomialReduce(g, groupIndex(g, lead), acc, dt, count, prim, op, tag)
+	sp := p.BeginBytes("coll.reduce.intra", n)
+	m.binomialReduce(p, g, groupIndex(g, lead), acc, dt, count, prim, op, tag)
 	sp.End()
 	if m.rank == lead {
-		sp := m.p.BeginBytes("coll.reduce.inter", n)
-		m.binomialReduce(m.leaderGroup(root), root/h.rpn, acc, dt, count, prim, op, tag+size)
+		sp := p.BeginBytes("coll.reduce.inter", n)
+		m.binomialReduce(p, m.leaderGroup(root), root/h.rpn, acc, dt, count, prim, op, tag+size)
 		sp.End()
 	}
 	if m.rank != root {

@@ -109,20 +109,29 @@ type Strategy interface {
 
 // Isend starts a send and returns its request.
 func (m *Rank) Isend(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int) *Request {
+	return m.isendOn(m.p, buf, dt, count, dest, tag)
+}
+
+// isendOn is Isend issued from an explicit process: the rank's main
+// process for the public API, or a spawned schedule process for
+// nonblocking collectives. The cooperative engine runs exactly one
+// process at a time, so the rank's matching lists and pools stay
+// race-free whichever process drives the send.
+func (m *Rank) isendOn(sp *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int) *Request {
 	req := &Request{done: m.w.eng.NewFuture()}
 	packed := int64(count) * dt.Size()
 	ch := m.channel(dest)
 	op := &SendOp{M: m, Buf: buf, Dt: dt, Count: count, Dest: dest, Tag: tag, Packed: packed, Ch: ch, Req: req}
 	if packed <= m.w.cfg.Proto.EagerLimit {
-		m.eagerSend(op)
+		m.eagerSend(sp, op)
 		return req
 	}
-	h := m.p.BeginBytes("mpi.rts", packed)
+	h := sp.BeginBytes("mpi.rts", packed)
 	info := m.w.cfg.Strategy.StartSend(op)
 	peer := m.w.ranks[dest]
 	src := m.rank
 	m.seq++
-	ch.AM(m.p, amHeaderBytes, func(p *sim.Proc) {
+	ch.AM(sp, amHeaderBytes, func(p *sim.Proc) {
 		peer.arrived(p, &rtsMsg{src: src, tag: tag, packed: packed, sdt: dt, scount: count, info: info})
 	})
 	h.End()
@@ -131,18 +140,18 @@ func (m *Rank) Isend(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int
 
 // eagerSend packs the whole message into a receiver-side host bounce
 // buffer and notifies the receiver: the short/eager protocol.
-func (m *Rank) eagerSend(op *SendOp) {
-	h := m.p.BeginBytes("mpi.eager.send", op.Packed)
+func (m *Rank) eagerSend(sp *sim.Proc, op *SendOp) {
+	h := sp.BeginBytes("mpi.eager.send", op.Packed)
 	defer h.End()
 	local := m.scratch(op.Packed)
-	m.packToHost(m.p, op.Buf, op.Dt, op.Count, local.Slice(0, op.Packed))
+	m.packToHost(sp, op.Buf, op.Dt, op.Count, local.Slice(0, op.Packed))
 	peer := m.w.ranks[op.Dest]
 	remote := peer.scratch(op.Packed)
-	op.Ch.Put(m.p, remote.Slice(0, op.Packed), local.Slice(0, op.Packed))
+	op.Ch.Put(sp, remote.Slice(0, op.Packed), local.Slice(0, op.Packed))
 	m.freeScratch(local)
 	src, tag, packed := m.rank, op.Tag, op.Packed
 	sdt, scount := op.Dt, op.Count
-	op.Ch.AM(m.p, amHeaderBytes, func(p *sim.Proc) {
+	op.Ch.AM(sp, amHeaderBytes, func(p *sim.Proc) {
 		peer.arrived(p, &rtsMsg{src: src, tag: tag, packed: packed, sdt: sdt, scount: scount, eager: remote, isEager: true})
 	})
 	op.Req.done.Complete(nil) // eager: locally complete once injected

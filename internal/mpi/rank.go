@@ -44,6 +44,9 @@ type Rank struct {
 	collSeq    int
 	winSeq     int
 	barrierBox *sim.Mailbox
+
+	collOut  int // nonblocking collectives in flight (see CollOutstanding)
+	icollSeq int // nonblocking collectives started, for process names
 }
 
 func newRank(w *World, r int, pl Placement) *Rank {
@@ -161,6 +164,17 @@ func (m *Rank) Send(buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int)
 // Recv performs a blocking receive into buf.
 func (m *Rank) Recv(buf mem.Buffer, dt *datatype.Datatype, count, source, tag int) {
 	m.Irecv(buf, dt, count, source, tag).Wait(m.p)
+}
+
+// sendOn / recvOn are Send/Recv driven from an explicit process, for
+// collective schedules that may run on a spawned progress process
+// instead of the rank's main one.
+func (m *Rank) sendOn(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count, dest, tag int) {
+	m.isendOn(p, buf, dt, count, dest, tag).Wait(p)
+}
+
+func (m *Rank) recvOn(p *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, count, source, tag int) {
+	m.Irecv(buf, dt, count, source, tag).Wait(p)
 }
 
 // SendRecv exchanges messages with the two peers without deadlocking.

@@ -7,6 +7,7 @@ import (
 
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
 )
 
 // Op is a reduction operator.
@@ -28,20 +29,22 @@ const (
 // and OpMax, and for Float64 values whose partial sums are exactly
 // representable.
 func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+	m.reduce(m.p, m.tagBlock(m.reduceTags()), sendBuf, recvBuf, dt, count, op, root)
+}
+
+func (m *Rank) reduce(p *sim.Proc, tag int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
 	if m.hierOn() && count > 0 {
-		m.hierReduce(sendBuf, recvBuf, dt, count, op, root)
+		m.hierReduce(p, tag, sendBuf, recvBuf, dt, count, op, root)
 		return
 	}
-	m.reduceFlat(sendBuf, recvBuf, dt, count, op, root)
+	m.reduceFlat(p, tag, sendBuf, recvBuf, dt, count, op, root)
 }
 
 // reduceFlat is the topology-blind binomial reduction.
-func (m *Rank) reduceFlat(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+func (m *Rank) reduceFlat(p *sim.Proc, tag int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
 	prim := reducePrim(dt)
 	n := int64(count) * dt.Size()
 	size := m.Size()
-	tag := collTagBase + m.collSeq
-	m.collSeq += size
 
 	// Accumulator: root accumulates into recvBuf; interior nodes use a
 	// scratch in the same location class as their send buffer.
@@ -53,8 +56,8 @@ func (m *Rank) reduceFlat(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, co
 	} else {
 		acc = m.scratch(n).Slice(0, n)
 	}
-	m.localCopy(sendBuf, dt, count, acc, dt, count)
-	m.binomialReduce(identityGroup(size), root, acc, dt, count, prim, op, tag)
+	m.localCopy(p, sendBuf, dt, count, acc, dt, count)
+	m.binomialReduce(p, identityGroup(size), root, acc, dt, count, prim, op, tag)
 	if m.rank != root {
 		m.releaseAccum(acc)
 	}
@@ -74,7 +77,7 @@ func identityGroup(size int) []int {
 // rotated so the root is virtual rank 0. Per-child messages are tagged
 // tag + sender's global rank. Only ranks in group may call it, and all
 // of them must.
-func (m *Rank) binomialReduce(group []int, rootIdx int, acc mem.Buffer, dt *datatype.Datatype, count int, prim datatype.Primitive, op Op, tag int) {
+func (m *Rank) binomialReduce(p *sim.Proc, group []int, rootIdx int, acc mem.Buffer, dt *datatype.Datatype, count int, prim datatype.Primitive, op Op, tag int) {
 	size := len(group)
 	if size <= 1 {
 		return
@@ -96,7 +99,7 @@ func (m *Rank) binomialReduce(group []int, rootIdx int, acc mem.Buffer, dt *data
 	for mask < size {
 		if vrank&mask != 0 {
 			parent := group[((vrank&^mask)+rootIdx)%size]
-			m.Send(acc, dt, count, parent, tag+m.rank)
+			m.sendOn(p, acc, dt, count, parent, tag+m.rank)
 			break
 		}
 		if peer := vrank | mask; peer < size {
@@ -108,8 +111,8 @@ func (m *Rank) binomialReduce(group []int, rootIdx int, acc mem.Buffer, dt *data
 					tmp = m.scratch(n).Slice(0, n)
 				}
 			}
-			m.Recv(tmp, dt, count, child, tag+child)
-			m.combine(acc, tmp, prim, op)
+			m.recvOn(p, tmp, dt, count, child, tag+child)
+			m.combine(p, acc, tmp, prim, op)
 		}
 		mask <<= 1
 	}
@@ -120,8 +123,14 @@ func (m *Rank) binomialReduce(group []int, rootIdx int, acc mem.Buffer, dt *data
 
 // Allreduce is Reduce to rank 0 followed by Bcast.
 func (m *Rank) Allreduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op) {
-	m.Reduce(sendBuf, recvBuf, dt, count, op, 0)
-	m.Bcast(recvBuf, dt, count, 0)
+	tagR := m.tagBlock(m.reduceTags())
+	tagB := m.tagBlock(m.bcastTags())
+	m.allreduce(m.p, tagR, tagB, sendBuf, recvBuf, dt, count, op)
+}
+
+func (m *Rank) allreduce(p *sim.Proc, tagR, tagB int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op) {
+	m.reduce(p, tagR, sendBuf, recvBuf, dt, count, op, 0)
+	m.bcast(p, tagB, recvBuf, dt, count, 0)
 }
 
 func (m *Rank) releaseAccum(b mem.Buffer) {
@@ -152,14 +161,14 @@ func reducePrim(dt *datatype.Datatype) datatype.Primitive {
 
 // combine executes acc = acc (op) other, charging a memory-bound kernel
 // on the GPU (2 reads + 1 write per element) or the host bus.
-func (m *Rank) combine(acc, other mem.Buffer, prim datatype.Primitive, op Op) {
+func (m *Rank) combine(p *sim.Proc, acc, other mem.Buffer, prim datatype.Primitive, op Op) {
 	n := acc.Len()
 	if acc.Kind() == mem.Device {
 		dev := m.ctx.Node().GPU(m.ctx.Node().DeviceOf(acc.Space()))
 		eng := m.engs[dev.ID()]
-		dev.Compute(eng.Stream(), 3*n, 0).Await(m.p)
+		dev.Compute(eng.Stream(), 3*n, 0).Await(p)
 	} else {
-		m.ctx.Node().HostBus().Transfer(m.p, 3*n)
+		m.ctx.Node().HostBus().Transfer(p, 3*n)
 	}
 	a, b := acc.Bytes(), other.Bytes()
 	for off := int64(0); off+8 <= n; off += 8 {

@@ -1,0 +1,214 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Irregular ("v") collectives: per-peer counts and displacements, the
+// building blocks of sparse alltoalls (MoE dispatch), variable-block
+// gathers and ragged halo exchanges. Displacements are in units of the
+// datatype extent (the MPI convention): block r of a buffer is
+// buf.Slice(displs[r]*extent, spanOf(dt, counts[r])). A zero count
+// moves no bytes and posts no message; both sides of a zero pair agree
+// because the count vectors are part of the collective's signature
+// (sender j and receiver i must satisfy scounts_j[i]*size(sdt) ==
+// rcounts_i[j]*size(rdt), exactly as in MPI).
+
+func checkVArgs(what string, size int, counts, displs []int) {
+	if len(counts) != size || len(displs) != size {
+		panic(fmt.Sprintf("mpi: %s wants %d counts and displacements, got %d and %d",
+			what, size, len(counts), len(displs)))
+	}
+	for _, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("mpi: %s negative count", what))
+		}
+	}
+}
+
+// vslot returns block r of an irregular buffer: counts[r] elements of
+// dt starting displs[r] extents from the buffer origin.
+func vslot(buf mem.Buffer, dt *datatype.Datatype, count, displ int) mem.Buffer {
+	return buf.Slice(int64(displ)*dt.Extent(), spanOf(dt, count))
+}
+
+// Alltoallv exchanges scounts[j] elements of sdt (at sdispls[j]) with
+// every rank j, receiving rcounts[i] elements of rdt (at rdispls[i])
+// from every rank i. Topology-aware worlds aggregate the irregular
+// node-pair traffic at per-node leaders (hvcoll.go); otherwise the flat
+// pairwise exchange runs, skipping zero-count pairs entirely.
+func (m *Rank) Alltoallv(sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype) {
+	checkVArgs("Alltoallv", m.Size(), scounts, sdispls)
+	checkVArgs("Alltoallv", m.Size(), rcounts, rdispls)
+	m.alltoallv(m.p, m.tagBlock(m.alltoallvTags()), sendBuf, scounts, sdispls, sdt, recvBuf, rcounts, rdispls, rdt)
+}
+
+func (m *Rank) alltoallv(p *sim.Proc, tag int, sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype) {
+	if m.hierOn() {
+		m.hierAlltoallv(p, tag, sendBuf, scounts, sdispls, sdt, recvBuf, rcounts, rdispls, rdt)
+		return
+	}
+	m.alltoallvFlat(p, tag, sendBuf, scounts, sdispls, sdt, recvBuf, rcounts, rdispls, rdt)
+}
+
+// alltoallvFlat is the pairwise exchange with zero pairs elided.
+func (m *Rank) alltoallvFlat(p *sim.Proc, tag int, sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype) {
+	size := m.Size()
+
+	// Local block first.
+	if int64(scounts[m.rank])*sdt.Size() > 0 {
+		m.localCopy(p,
+			vslot(sendBuf, sdt, scounts[m.rank], sdispls[m.rank]), sdt, scounts[m.rank],
+			vslot(recvBuf, rdt, rcounts[m.rank], rdispls[m.rank]), rdt, rcounts[m.rank])
+	}
+
+	pow2 := size&(size-1) == 0
+	for s := 1; s < size; s++ {
+		var sendTo, recvFrom int
+		if pow2 {
+			sendTo = m.rank ^ s
+			recvFrom = sendTo
+		} else {
+			sendTo = (m.rank + s) % size
+			recvFrom = (m.rank - s + size) % size
+		}
+		var sreq, rreq *Request
+		if int64(scounts[sendTo])*sdt.Size() > 0 {
+			sreq = m.isendOn(p, vslot(sendBuf, sdt, scounts[sendTo], sdispls[sendTo]), sdt, scounts[sendTo], sendTo, tag)
+		}
+		if int64(rcounts[recvFrom])*rdt.Size() > 0 {
+			rreq = m.Irecv(vslot(recvBuf, rdt, rcounts[recvFrom], rdispls[recvFrom]), rdt, rcounts[recvFrom], recvFrom, tag)
+		}
+		if sreq != nil {
+			sreq.Wait(p)
+		}
+		if rreq != nil {
+			rreq.Wait(p)
+		}
+	}
+}
+
+// Allgatherv gathers counts[r] elements of dt from every rank r (read
+// from its own block of buf) into every rank's buf at displs[r]. The
+// count and displacement vectors are global knowledge — every rank
+// passes the same ones — so zero blocks are skipped symmetrically.
+func (m *Rank) Allgatherv(buf mem.Buffer, counts, displs []int, dt *datatype.Datatype) {
+	checkVArgs("Allgatherv", m.Size(), counts, displs)
+	m.allgatherv(m.p, m.tagBlock(m.allgatherTags()), buf, counts, displs, dt)
+}
+
+func (m *Rank) allgatherv(p *sim.Proc, tag int, buf mem.Buffer, counts, displs []int, dt *datatype.Datatype) {
+	if m.hierOn() {
+		m.hierAllgatherv(p, tag, buf, counts, displs, dt)
+		return
+	}
+	m.allgathervFlat(p, tag, buf, counts, displs, dt)
+}
+
+// allgathervFlat is the ring algorithm with zero blocks elided: in step
+// s the rank forwards block (rank-s) to the right and receives block
+// (rank-s-1) from the left; a zero block is simply not sent, and the
+// neighbour — holding the same count vector — does not post for it.
+func (m *Rank) allgathervFlat(p *sim.Proc, tag int, buf mem.Buffer, counts, displs []int, dt *datatype.Datatype) {
+	size := m.Size()
+	if size == 1 {
+		return
+	}
+	right := (m.rank + 1) % size
+	left := (m.rank - 1 + size) % size
+	for s := 0; s < size-1; s++ {
+		sendBlk := (m.rank - s + size) % size
+		recvBlk := (m.rank - s - 1 + size) % size
+		var sreq, rreq *Request
+		if int64(counts[sendBlk])*dt.Size() > 0 {
+			sreq = m.isendOn(p, vslot(buf, dt, counts[sendBlk], displs[sendBlk]), dt, counts[sendBlk], right, tag+s)
+		}
+		if int64(counts[recvBlk])*dt.Size() > 0 {
+			rreq = m.Irecv(vslot(buf, dt, counts[recvBlk], displs[recvBlk]), dt, counts[recvBlk], left, tag+s)
+		}
+		if sreq != nil {
+			sreq.Wait(p)
+		}
+		if rreq != nil {
+			rreq.Wait(p)
+		}
+	}
+}
+
+// Gatherv collects each rank's (sendBuf, sdt, scount) into root's
+// recvBuf at rdispls[r]. Only the root reads rcounts/rdispls (MPI
+// semantics — non-root ranks may pass nil), so the algorithm is the
+// linear flat one on every topology: the root is the only rank that
+// knows the irregular layout, which rules out leader staging.
+func (m *Rank) Gatherv(sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype, root int) {
+	m.gatherv(m.p, m.tagBlock(m.gatherTags()), sendBuf, sdt, scount, recvBuf, rcounts, rdispls, rdt, root)
+}
+
+func (m *Rank) gatherv(p *sim.Proc, tag int, sendBuf mem.Buffer, sdt *datatype.Datatype, scount int,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype, root int) {
+	size := m.Size()
+	if m.rank != root {
+		if int64(scount)*sdt.Size() > 0 {
+			m.sendOn(p, sendBuf, sdt, scount, root, tag+m.rank)
+		}
+		return
+	}
+	checkVArgs("Gatherv", size, rcounts, rdispls)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		if int64(rcounts[r])*rdt.Size() == 0 {
+			continue
+		}
+		slot := vslot(recvBuf, rdt, rcounts[r], rdispls[r])
+		if r == root {
+			m.localCopy(p, sendBuf, sdt, scount, slot, rdt, rcounts[r])
+			continue
+		}
+		reqs = append(reqs, m.Irecv(slot, rdt, rcounts[r], r, tag+r))
+	}
+	for _, rq := range reqs {
+		rq.Wait(p)
+	}
+}
+
+// Scatterv distributes scounts[r] elements of sdt from root's sendBuf
+// at sdispls[r] to rank r's recvBuf. Only the root reads the vectors.
+func (m *Rank) Scatterv(sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	m.scatterv(m.p, m.tagBlock(m.gatherTags()), sendBuf, scounts, sdispls, sdt, recvBuf, rdt, rcount, root)
+}
+
+func (m *Rank) scatterv(p *sim.Proc, tag int, sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, root int) {
+	size := m.Size()
+	if m.rank != root {
+		if int64(rcount)*rdt.Size() > 0 {
+			m.recvOn(p, recvBuf, rdt, rcount, root, tag+m.rank)
+		}
+		return
+	}
+	checkVArgs("Scatterv", size, scounts, sdispls)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		if int64(scounts[r])*sdt.Size() == 0 {
+			continue
+		}
+		slot := vslot(sendBuf, sdt, scounts[r], sdispls[r])
+		if r == root {
+			m.localCopy(p, slot, sdt, scounts[r], recvBuf, rdt, rcount)
+			continue
+		}
+		reqs = append(reqs, m.isendOn(p, slot, sdt, scounts[r], r, tag+r))
+	}
+	for _, rq := range reqs {
+		rq.Wait(p)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sort"
+
+	"gpuddt/internal/sim"
+)
+
+// Overlap quantifies communication/computation overlap over a whole
+// timeline: how much wire occupancy there was, how much application
+// compute ("kernel.compute" spans — pack/unpack kernels belong to
+// communication and are excluded), and how much of the wire time was
+// hidden underneath compute. This is the quantity the paper's pipelined
+// engine exists to maximize: data can be on the wire while the GPU is
+// busy with the application's own kernels.
+type Overlap struct {
+	Wire    sim.Time // union of wire occupancy
+	Compute sim.Time // union of application kernel execution
+	Hidden  sim.Time // wire time covered by compute
+}
+
+// HiddenFrac reports the fraction of wire time hidden behind compute
+// (0 when nothing was on the wire).
+func (o Overlap) HiddenFrac() float64 {
+	if o.Wire == 0 {
+		return 0
+	}
+	return float64(o.Hidden) / float64(o.Wire)
+}
+
+// ComputeOverlap scans the recorded timeline for wire and compute
+// intervals (classified exactly like the per-message phase attribution)
+// and intersects their coverage.
+func ComputeOverlap(r *sim.Recorder) Overlap {
+	var wire, comp [][2]sim.Time
+	for _, tk := range r.Tracks() {
+		for i := range tk.Spans {
+			sp := &tk.Spans[i]
+			iv := [2]sim.Time{sp.Begin, sp.End}
+			if iv[1] <= iv[0] {
+				continue
+			}
+			if sp.Name == "kernel.compute" {
+				comp = append(comp, iv)
+			} else if phaseOf(tk.Name, sp.Name) == "wire" {
+				wire = append(wire, iv)
+			}
+		}
+	}
+	wire, comp = mergeIntervals(wire), mergeIntervals(comp)
+	return Overlap{
+		Wire:    sumIntervals(wire),
+		Compute: sumIntervals(comp),
+		Hidden:  sumIntervals(intersectIntervals(wire, comp)),
+	}
+}
+
+// mergeIntervals sorts and unions the intervals into a disjoint
+// ascending list.
+func mergeIntervals(iv [][2]sim.Time) [][2]sim.Time {
+	if len(iv) == 0 {
+		return nil
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	out := [][2]sim.Time{iv[0]}
+	for _, x := range iv[1:] {
+		last := &out[len(out)-1]
+		if x[0] > last[1] {
+			out = append(out, x)
+			continue
+		}
+		if x[1] > last[1] {
+			last[1] = x[1]
+		}
+	}
+	return out
+}
+
+// intersectIntervals walks two disjoint ascending lists and returns
+// their pairwise intersections.
+func intersectIntervals(a, b [][2]sim.Time) [][2]sim.Time {
+	var out [][2]sim.Time
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i][0], a[i][1]
+		if b[j][0] > lo {
+			lo = b[j][0]
+		}
+		if b[j][1] < hi {
+			hi = b[j][1]
+		}
+		if hi > lo {
+			out = append(out, [2]sim.Time{lo, hi})
+		}
+		if a[i][1] < b[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func sumIntervals(iv [][2]sim.Time) sim.Time {
+	var total sim.Time
+	for _, x := range iv {
+		total += x[1] - x[0]
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gpuddt/internal/sim"
+)
+
+// TestComputeOverlap builds a synthetic timeline with known wire and
+// compute intervals and checks the interval arithmetic:
+//
+//	wire:    [0,100) [200,300)   (plus a duplicate on a second track,
+//	                              which the union must not double-count,
+//	                              and a hostbus span that must be ignored)
+//	compute: [50,250)
+//	hidden:  [50,100) + [200,250) = 100
+func TestComputeOverlap(t *testing.T) {
+	e := sim.NewEngine()
+	rec := sim.NewRecorder(e)
+	wireProc := func(name string) {
+		e.Spawn(name, func(p *sim.Proc) {
+			h := p.Begin("xfer")
+			p.Sleep(100)
+			h.End()
+			p.Sleep(100)
+			h = p.Begin("xfer")
+			p.Sleep(100)
+			h.End()
+		})
+	}
+	wireProc("link.ib")
+	wireProc("link.ib.dup") // same intervals again: union, not sum
+	e.Spawn("node0.hostbus", func(p *sim.Proc) {
+		h := p.Begin("xfer") // hostbus occupancy is not wire time
+		p.Sleep(1000)
+		h.End()
+	})
+	e.Spawn("gpu0", func(p *sim.Proc) {
+		p.Sleep(50)
+		h := p.Begin("kernel.compute")
+		p.Sleep(200)
+		h.End()
+	})
+	e.Run()
+
+	ov := ComputeOverlap(rec)
+	if ov.Wire != 200 {
+		t.Errorf("Wire = %v, want 200", ov.Wire)
+	}
+	if ov.Compute != 200 {
+		t.Errorf("Compute = %v, want 200", ov.Compute)
+	}
+	if ov.Hidden != 100 {
+		t.Errorf("Hidden = %v, want 100", ov.Hidden)
+	}
+	if f := ov.HiddenFrac(); f != 0.5 {
+		t.Errorf("HiddenFrac = %v, want 0.5", f)
+	}
+
+	var sb strings.Builder
+	WritePhases(&sb, rec)
+	if !strings.Contains(sb.String(), "50% of wire time behind compute") {
+		t.Errorf("WritePhases missing overlap line:\n%s", sb.String())
+	}
+}
+
+// TestComputeOverlapEmpty: no wire spans at all must yield a zero
+// fraction, not a division by zero.
+func TestComputeOverlapEmpty(t *testing.T) {
+	e := sim.NewEngine()
+	rec := sim.NewRecorder(e)
+	e.Run()
+	ov := ComputeOverlap(rec)
+	if ov.Wire != 0 || ov.Compute != 0 || ov.Hidden != 0 || ov.HiddenFrac() != 0 {
+		t.Errorf("empty recorder gave %+v frac=%v", ov, ov.HiddenFrac())
+	}
+}

@@ -183,6 +183,10 @@ func WritePhases(w io.Writer, r *sim.Recorder) {
 				fmt.Sprintf("#%d %s", i, label), tr.Bytes, tr.Duration(), tr.Pack, tr.Wire, tr.Unpack, tr.Idle)
 		}
 	}
+	if ov := ComputeOverlap(r); ov.Compute > 0 && ov.Wire > 0 {
+		fmt.Fprintf(w, "overlap: wire %v, compute %v, hidden %v (%.0f%% of wire time behind compute)\n",
+			ov.Wire, ov.Compute, ov.Hidden, 100*ov.HiddenFrac())
+	}
 	fmt.Fprintln(w, "time per span name:")
 	fmt.Fprintf(w, "  %-24s %8s %14s %12s\n", "span", "count", "bytes", "total")
 	for _, st := range Phases(r) {
