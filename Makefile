@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check chaos-check scale-check vcoll-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check scale-check megascale-check vcoll-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -58,6 +58,21 @@ scale-check:
 	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-a.json
 	$(GO) run ./cmd/scalebench -quick -out /tmp/scale-b.json
 	cmp /tmp/scale-a.json /tmp/scale-b.json
+
+# Mega-scale gate: the sharded-engine determinism suite under -race
+# (serial-vs-sharded byte identity, lookahead violation, chaos world),
+# the modelled-payload digest equivalence against the real protocol
+# stack at 64 ranks, the 50x flyweight memory reduction at 256 ranks,
+# the quick modelled sweep with its serial-identity gate, the
+# 16384-rank alltoall smoke, and the scalebench smoke run.
+megascale-check:
+	$(GO) test -race ./internal/sim -run TestSharded
+	$(GO) test -race ./internal/model
+	$(GO) test ./internal/mem -run 'TestSynthetic|TestSpaceRetired|TestPoolStats'
+	$(GO) test ./internal/mpi -run TestPayload
+	$(GO) test ./internal/bench -run 'TestMega|TestModelReal|TestFlyweight'
+	GPUDDT_MEGA=1 $(GO) test ./internal/bench -run TestMegaSmoke16k -v
+	$(GO) run ./cmd/scalebench -quick -out /tmp/megascale.json
 
 # Irregular/nonblocking collective gate: the v-variant conformance
 # oracle (irregular counts vs the reference walker across CPU/GPU ×

@@ -6,11 +6,20 @@
 // virtual (simulated), so the sweep is deterministic: two runs of the
 // same binary produce the same measurements.
 //
+// The report has two sections in one array: real-payload points
+// (2..256 ranks, full protocol stack) and modelled-payload points
+// (mode "modelled": flyweight ranks on the sharded event engine,
+// 32..16384 ranks). Modelled points are digest-verified against the
+// schedules' expected payload movement, and the smaller ones re-run on
+// the serial engine to prove the sharded virtual times byte-identical.
+//
 // Usage:
 //
-//	scalebench                   # JSON to stdout (full sweep, 2..256 ranks)
+//	scalebench                   # JSON to stdout (full sweep, up to 16384 ranks)
 //	scalebench -out BENCH_scale.json
 //	scalebench -quick            # CI smoke sweep
+//	scalebench -shards 4         # sharded-engine partitions for modelled points
+//	scalebench -sample 128       # verified ranks per modelled point
 package main
 
 import (
@@ -33,6 +42,8 @@ type Report struct {
 	NumCPU       int                `json:"num_cpu"`
 	Datatype     string             `json:"datatype"`
 	RanksPerNode int                `json:"ranks_per_node"`
+	Shards       int                `json:"shards"`
+	SampleRanks  int                `json:"sample_ranks"`
 	Scale        []bench.ScalePoint `json:"scale"`
 }
 
@@ -42,6 +53,8 @@ func Run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	outPath := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	quick := fs.Bool("quick", false, "small sweep for a fast smoke run")
+	shards := fs.Int("shards", 0, "sharded-engine partitions for modelled points (0: sweep default)")
+	sample := fs.Int("sample", 0, "content-verified ranks per modelled point (0: sweep default)")
 	prof := cli.Profiles(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,14 +66,28 @@ func Run(args []string, out, errOut io.Writer) int {
 	}
 
 	sw := bench.DefaultScaleSweep()
+	msw := bench.DefaultMegaSweep()
 	if *quick {
 		sw = bench.QuickScaleSweep()
+		msw = bench.QuickMegaSweep()
+	}
+	if *shards > 0 {
+		msw.Shards = *shards
+	}
+	if *sample > 0 {
+		msw.SampleRanks = *sample
 	}
 	pts, err := bench.RunScale(sw)
 	if err != nil {
 		fmt.Fprintf(errOut, "scalebench: %v\n", err)
 		return 1
 	}
+	mpts, err := bench.RunMega(msw)
+	if err != nil {
+		fmt.Fprintf(errOut, "scalebench: %v\n", err)
+		return 1
+	}
+	pts = append(pts, mpts...)
 	rep := Report{
 		GeneratedBy:  "cmd/scalebench",
 		GoVersion:    runtime.Version(),
@@ -68,6 +95,8 @@ func Run(args []string, out, errOut io.Writer) int {
 		NumCPU:       runtime.NumCPU(),
 		Datatype:     "submatrix_16x8_ld12",
 		RanksPerNode: sw.RanksPerNode,
+		Shards:       msw.Shards,
+		SampleRanks:  msw.SampleRanks,
 		Scale:        pts,
 	}
 	return cli.WriteJSON(rep, *outPath, "scale benchmark report", "scalebench", out, errOut)

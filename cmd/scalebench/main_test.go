@@ -21,9 +21,56 @@ func TestQuickRun(t *testing.T) {
 	if len(rep.Scale) == 0 {
 		t.Fatal("no sweep points")
 	}
+	var modelled int
 	for _, pt := range rep.Scale {
 		if pt.HierUs <= 0 || pt.FlatUs <= 0 {
 			t.Errorf("%s %d ranks: non-positive time", pt.Coll, pt.Ranks)
+		}
+		if pt.Mode == "modelled" {
+			modelled++
+			if !pt.SerialIdentical {
+				t.Errorf("%s %d ranks: quick modelled point without serial identity", pt.Coll, pt.Ranks)
+			}
+			if pt.Ranks > 256 && pt.MemPerRank > 64<<10 {
+				t.Errorf("%s %d ranks: %d B/rank is not flyweight", pt.Coll, pt.Ranks, pt.MemPerRank)
+			}
+		}
+	}
+	if modelled == 0 {
+		t.Fatal("no modelled mega-scale points in the report")
+	}
+	if rep.Shards <= 0 || rep.SampleRanks <= 0 {
+		t.Errorf("report header missing shards/sample_ranks: %d/%d", rep.Shards, rep.SampleRanks)
+	}
+}
+
+// TestShardsFlag: the -shards override must reach the modelled sweep
+// without perturbing virtual times (engine determinism).
+func TestShardsFlag(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if code := Run([]string{"-quick", "-shards", "1"}, &a, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := Run([]string{"-quick", "-shards", "4"}, &b, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var ra, rb Report
+	if err := json.Unmarshal(a.Bytes(), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b.Bytes(), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Shards != 1 || rb.Shards != 4 {
+		t.Fatalf("shards flag not honored: %d/%d", ra.Shards, rb.Shards)
+	}
+	for i := range ra.Scale {
+		pa, pb := ra.Scale[i], rb.Scale[i]
+		if pa.Mode != "modelled" {
+			continue
+		}
+		if pa.HierUs != pb.HierUs || pa.FlatUs != pb.FlatUs {
+			t.Errorf("%s %d ranks: virtual times depend on shard count", pa.Coll, pa.Ranks)
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"gpuddt/internal/cluster"
+	"gpuddt/internal/model"
+)
+
+// clusterScale mirrors runScaleColl's world shape for the modelled arm.
+func clusterScale(nodes, rpn, ov int) cluster.Spec {
+	return cluster.Scale(nodes, rpn, rpn, ov)
+}
+
+// TestMegaQuickSweep runs the CI modelled sweep end to end: every
+// point is hier-vs-flat digest-verified inside RunMega, and every
+// point under the serial gate must have reproduced byte-identically
+// on the 1-shard engine.
+func TestMegaQuickSweep(t *testing.T) {
+	sw := QuickMegaSweep()
+	pts, err := RunMega(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sw.Colls) * len(sw.Shapes); len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for _, pt := range pts {
+		if pt.Mode != "modelled" {
+			t.Errorf("%s %d ranks: mode %q", pt.Coll, pt.Ranks, pt.Mode)
+		}
+		if !pt.SerialIdentical {
+			t.Errorf("%s %d ranks: serial identity not verified", pt.Coll, pt.Ranks)
+		}
+		if pt.FlatUs <= 0 || pt.HierUs <= 0 || pt.Events <= 0 {
+			t.Errorf("%s %d ranks: empty measurement %+v", pt.Coll, pt.Ranks, pt)
+		}
+		if pt.MemPerRank <= 0 || pt.MemPerRank > 64<<10 {
+			t.Errorf("%s %d ranks: modelled per-rank memory %d outside (0, 64KiB]", pt.Coll, pt.Ranks, pt.MemPerRank)
+		}
+		if pt.Ranks >= 128 && pt.Speedup <= 1 {
+			t.Errorf("%s %d ranks: hierarchy not winning (speedup %.2f)", pt.Coll, pt.Ranks, pt.Speedup)
+		}
+	}
+}
+
+// TestModelRealEquivalence is the modelled-vs-real digest gate: at 64
+// ranks the full protocol stack moving real synthetic bytes and the
+// flyweight model moving none must reconstruct sha256-identical
+// receive images, for both schedules of both collectives.
+func TestModelRealEquivalence(t *testing.T) {
+	const nodes, rpn, ov = 16, 4, 2
+	for _, coll := range []string{"alltoall", "allgather"} {
+		for _, flat := range []bool{false, true} {
+			_, realSum, _, _ := runScaleColl(coll, nodes, rpn, ov, flat)
+			res, err := model.Run(model.Options{
+				Spec:   clusterScale(nodes, rpn, ov),
+				Coll:   coll,
+				Flat:   flat,
+				Shards: 2,
+				Dt:     scaleBlock(),
+				Count:  1,
+			})
+			if err != nil {
+				t.Fatalf("%s flat=%v: %v", coll, flat, err)
+			}
+			if !bytes.Equal(realSum, res.Digest[:]) {
+				t.Errorf("%s flat=%v: modelled digest differs from real-payload world", coll, flat)
+			}
+		}
+	}
+}
+
+// TestFlyweightMemoryReduction pins the tentpole memory claim: at 256
+// ranks the modelled world's per-rank state must be at least 50x
+// smaller than the real-payload world's per-rank backing memory.
+func TestFlyweightMemoryReduction(t *testing.T) {
+	const nodes, rpn, ov = 64, 4, 2
+	_, _, _, realFoot := runScaleColl("alltoall", nodes, rpn, ov, false)
+	res, err := model.Run(model.Options{
+		Spec:        clusterScale(nodes, rpn, ov),
+		Coll:        "alltoall",
+		Shards:      4,
+		Dt:          scaleBlock(),
+		Count:       1,
+		SampleRanks: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := int64(nodes * rpn)
+	realPer, modelPer := realFoot/ranks, res.StateBytes/ranks
+	if modelPer <= 0 {
+		t.Fatalf("modelled per-rank state %d", modelPer)
+	}
+	if realPer < 50*modelPer {
+		t.Fatalf("real %d B/rank vs modelled %d B/rank: reduction %.1fx < 50x",
+			realPer, modelPer, float64(realPer)/float64(modelPer))
+	}
+	t.Logf("real %d B/rank, modelled %d B/rank (%.0fx)", realPer, modelPer, float64(realPer)/float64(modelPer))
+}
+
+// TestMegaSmoke16k drives the headline 16384-rank point (hier arm,
+// light sampling). Gated behind GPUDDT_MEGA=1: it is minutes of work
+// with the flat arm included, seconds without, but still too heavy for
+// every `go test` invocation.
+func TestMegaSmoke16k(t *testing.T) {
+	if os.Getenv("GPUDDT_MEGA") == "" {
+		t.Skip("set GPUDDT_MEGA=1 to run the 16384-rank smoke")
+	}
+	res, err := model.Run(model.Options{
+		Spec:        clusterScale(4096, 4, 2),
+		Coll:        "alltoall",
+		Shards:      8,
+		Dt:          scaleBlock(),
+		Count:       1,
+		SampleRanks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Messages == 0 {
+		t.Fatalf("empty 16k run: %+v", res)
+	}
+	per := res.MemPerRank(16384)
+	if per > 16<<10 {
+		t.Fatalf("16k-rank modelled state %d B/rank, want O(KB)", per)
+	}
+	t.Logf("16384 ranks hier alltoall: %v, %d msgs, %d B/rank", res.Time, res.Messages, per)
+}

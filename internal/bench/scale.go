@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"runtime"
+	"time"
 
 	"gpuddt/internal/cluster"
 	"gpuddt/internal/datatype"
 	"gpuddt/internal/mem"
+	"gpuddt/internal/model"
 	"gpuddt/internal/mpi"
 	"gpuddt/internal/shapes"
 	"gpuddt/internal/sim"
@@ -29,6 +32,12 @@ type ScaleSweep struct {
 	Ranks        []int // total world sizes
 	RanksPerNode int   // ranks per node at full scale (small worlds shrink to one node)
 	Oversubs     []int // fat-tree oversubscription ratios
+
+	// MeasureHost additionally records host-side resource use per
+	// point: wall-clock, Go HeapInuse and the world's real memory
+	// footprint per rank. Off for CI smoke sweeps, whose output must
+	// be byte-identical run to run.
+	MeasureHost bool
 }
 
 // DefaultScaleSweep is the committed BENCH_scale.json sweep: 2 to 256
@@ -39,6 +48,7 @@ func DefaultScaleSweep() ScaleSweep {
 		Ranks:        []int{2, 8, 32, 128, 256},
 		RanksPerNode: 4,
 		Oversubs:     []int{1, 2, 4},
+		MeasureHost:  true,
 	}
 }
 
@@ -64,6 +74,34 @@ type ScalePoint struct {
 	FlatUs       float64 `json:"flat_us"`
 	HierUs       float64 `json:"hier_us"`
 	Speedup      float64 `json:"speedup"`
+
+	// Mode is "" for real-payload worlds (full protocol stack, real
+	// buffers) and "modelled" for flyweight modelled-payload worlds
+	// (internal/model on the sharded event engine).
+	Mode string `json:"mode,omitempty"`
+
+	// Shards is the sharded-engine partition count of a modelled point.
+	Shards int `json:"shards,omitempty"`
+
+	// SerialIdentical records that the modelled point was re-run on the
+	// serial (1-shard) engine and produced byte-identical virtual times
+	// and payload digests.
+	SerialIdentical bool `json:"serial_identical,omitempty"`
+
+	// Events counts dispatched engine events of a modelled point
+	// (hier + flat arms).
+	Events int64 `json:"events,omitempty"`
+
+	// MemPerRank is the per-rank memory of the world: the deterministic
+	// structural state of a modelled world, or (with MeasureHost) the
+	// real backing memory of a real-payload world.
+	MemPerRank int64 `json:"mem_per_rank_bytes,omitempty"`
+
+	// HeapInuse and WallMs are host-side measurements (MeasureHost
+	// sweeps only): Go heap in use after the point, wall-clock to run
+	// it.
+	HeapInuse int64   `json:"heap_inuse_bytes,omitempty"`
+	WallMs    float64 `json:"wall_ms,omitempty"`
 }
 
 // RunScale executes the sweep. Every point is verified: the
@@ -81,9 +119,16 @@ func RunScale(sw ScaleSweep) ([]ScalePoint, error) {
 				return nil, fmt.Errorf("scale: %d ranks not divisible by %d per node", ranks, rpn)
 			}
 			for _, ov := range sw.Oversubs {
-				pt, err := measureScale(coll, ranks/rpn, rpn, ov)
+				start := time.Now()
+				pt, err := measureScaleOpt(coll, ranks/rpn, rpn, ov, sw.MeasureHost)
 				if err != nil {
 					return nil, err
+				}
+				if sw.MeasureHost {
+					pt.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					pt.HeapInuse = int64(ms.HeapInuse)
 				}
 				pts = append(pts, pt)
 			}
@@ -93,14 +138,21 @@ func RunScale(sw ScaleSweep) ([]ScalePoint, error) {
 }
 
 // measureScale times one collective hier vs flat on the same world.
+// It never records memory: backing-array sizes depend on slab-pool
+// history, and the plain measurement must stay a pure function of its
+// parameters.
 func measureScale(coll string, nodes, rpn, oversub int) (ScalePoint, error) {
-	hierT, hierSum, bytesPer := runScaleColl(coll, nodes, rpn, oversub, false)
-	flatT, flatSum, _ := runScaleColl(coll, nodes, rpn, oversub, true)
+	return measureScaleOpt(coll, nodes, rpn, oversub, false)
+}
+
+func measureScaleOpt(coll string, nodes, rpn, oversub int, withMem bool) (ScalePoint, error) {
+	hierT, hierSum, bytesPer, hierFoot := runScaleColl(coll, nodes, rpn, oversub, false)
+	flatT, flatSum, _, _ := runScaleColl(coll, nodes, rpn, oversub, true)
 	if !bytes.Equal(hierSum, flatSum) {
 		return ScalePoint{}, fmt.Errorf("scale: %s %dx%d oversub %d: hierarchical payload differs from flat",
 			coll, nodes, rpn, oversub)
 	}
-	return ScalePoint{
+	pt := ScalePoint{
 		Coll:         coll,
 		Nodes:        nodes,
 		RanksPerNode: rpn,
@@ -110,7 +162,11 @@ func measureScale(coll string, nodes, rpn, oversub int) (ScalePoint, error) {
 		FlatUs:       flatT.Micros(),
 		HierUs:       hierT.Micros(),
 		Speedup:      float64(flatT) / float64(hierT),
-	}, nil
+	}
+	if withMem {
+		pt.MemPerRank = hierFoot / int64(nodes*rpn)
+	}
+	return pt, nil
 }
 
 // scaleBlock is the non-contiguous unit the datatype collectives move:
@@ -124,7 +180,7 @@ const reduceElems = 4096
 
 // runScaleColl runs one collective on a Scale world and returns its
 // completion time plus a digest of every rank's packed result.
-func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []byte, int64) {
+func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []byte, int64, int64) {
 	spec := cluster.Scale(nodes, rpn, rpn, oversub)
 	cfg := spec.Config()
 	cfg.Proto.FlatCollectives = flat
@@ -144,7 +200,7 @@ func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []
 			dt, count := scaleBlock(), 8
 			buf := m.Malloc(layoutSpan(dt, count))
 			if m.Rank() == root {
-				mem.FillPattern(buf, uint64(1000+root))
+				mem.FillSynthetic(buf, uint64(1000+root))
 			}
 			run = func() { m.Bcast(buf, dt, count, root) }
 			result = func() []byte { return cpuPack(dt, count, buf.Bytes()) }
@@ -152,21 +208,21 @@ func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []
 			dt, count := scaleBlock(), 1
 			stride := int64(count) * dt.Extent()
 			buf := m.Malloc(layoutSpan(dt, size*count))
-			mem.FillPattern(buf.Slice(int64(m.Rank())*stride, layoutSpan(dt, count)), uint64(2000+m.Rank()))
+			mem.FillSynthetic(buf.Slice(int64(m.Rank())*stride, layoutSpan(dt, count)), uint64(model.SeedAllgather+m.Rank()))
 			run = func() { m.Allgather(buf, dt, count) }
 			result = func() []byte { return cpuPack(dt, size*count, buf.Bytes()) }
 		case "alltoall":
 			dt, count := scaleBlock(), 1
 			sendBuf := m.Malloc(layoutSpan(dt, size*count))
 			recvBuf := m.Malloc(layoutSpan(dt, size*count))
-			mem.FillPattern(sendBuf, uint64(3000+m.Rank()))
+			mem.FillSynthetic(sendBuf, uint64(model.SeedAlltoall+m.Rank()))
 			run = func() { m.Alltoall(sendBuf, dt, count, recvBuf, dt, count) }
 			result = func() []byte { return cpuPack(dt, size*count, recvBuf.Bytes()) }
 		case "reduce":
 			dt, count := datatype.Contiguous(reduceElems, datatype.Int64), 1
 			sendBuf := m.Malloc(dt.Size())
 			recvBuf := m.Malloc(dt.Size())
-			mem.FillPattern(sendBuf, uint64(4000+m.Rank()))
+			mem.FillSynthetic(sendBuf, uint64(4000+m.Rank()))
 			run = func() { m.Reduce(sendBuf, recvBuf, dt, count, mpi.OpSum, root) }
 			result = func() []byte {
 				if m.Rank() != root {
@@ -207,7 +263,7 @@ func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []
 	if coll == "reduce" {
 		per = reduceElems * 8
 	}
-	return elapsed, h.Sum(nil), per
+	return elapsed, h.Sum(nil), per, w.FootprintBytes()
 }
 
 // cpuPack packs (dt, count) from src's bytes with the reference CPU

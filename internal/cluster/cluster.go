@@ -41,6 +41,19 @@ type Spec struct {
 	GPU  gpu.Params
 	PCIe pcie.Params
 	IB   ib.Params
+
+	// Modelled selects the flyweight modelled-payload execution mode
+	// (internal/model): ranks become state machines sharing compiled
+	// datatype plans, payload bytes become digest-checked synthetic
+	// generators, and the world runs on the sharded event engine. A
+	// modelled Spec cannot build an mpi.World — it exists so sweeps
+	// carry both modes through one description of "the machine".
+	Modelled bool
+
+	// Shards is the sharded-engine partition count for Modelled specs
+	// (clamped to the fat-tree leaf count; 0 means 1, i.e. the serial
+	// reference engine). Ignored for real-payload worlds.
+	Shards int
 }
 
 // normalized fills the shape defaults (hardware defaults are filled by
@@ -100,6 +113,13 @@ func (s Spec) String() string {
 	if t := s.IB.Topo; t.Hierarchical() {
 		out += fmt.Sprintf(" (fat-tree %d:%d)", t.LeafRadix, t.Spines)
 	}
+	if s.Modelled {
+		sh := s.Shards
+		if sh < 1 {
+			sh = 1
+		}
+		out += fmt.Sprintf(" [modelled x%d]", sh)
+	}
 	return out
 }
 
@@ -156,4 +176,15 @@ func Scale(nodes, gpusPerNode, ranksPerNode, oversub int) Spec {
 		RanksPerNode: ranksPerNode,
 		IB:           ibp,
 	}
+}
+
+// ScaleModelled is Scale in the flyweight modelled-payload mode with
+// the given engine shard count — the shape mega-scale sweeps (1k-16k+
+// ranks) run at, where building real buffers and goroutines per rank
+// is off the table.
+func ScaleModelled(nodes, gpusPerNode, ranksPerNode, oversub, shards int) Spec {
+	s := Scale(nodes, gpusPerNode, ranksPerNode, oversub)
+	s.Modelled = true
+	s.Shards = shards
+	return s
 }

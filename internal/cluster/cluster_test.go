@@ -76,3 +76,22 @@ func TestSpecString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+// TestScaleModelled: the modelled-mode spec carries the engine shard
+// count, names itself distinctly, and leaves the real-payload naming
+// untouched.
+func TestScaleModelled(t *testing.T) {
+	s := ScaleModelled(4096, 1, 4, 2, 8)
+	if !s.Modelled || s.Shards != 8 {
+		t.Fatalf("ScaleModelled fields: %+v", s)
+	}
+	if s.Size() != 16384 {
+		t.Fatalf("Size = %d, want 16384", s.Size())
+	}
+	if got := s.String(); got != "4096x4 (fat-tree 8:4) [modelled x8]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Spec{Nodes: 2, GPUsPerNode: 1, Modelled: true}).String(); got != "2x1 [modelled x1]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -44,9 +44,20 @@ type Space struct {
 	// retired holds outgrown backing arrays until Release. They cannot
 	// go back to the slab pool mid-lifetime: a caller may still hold a
 	// (stale, already-copied) Bytes() slice into one, and recycling it
-	// into another Space would alias live traffic over that view.
+	// into another Space would alias live traffic over that view. The
+	// list is capped at spaceMaxRetired entries: beyond that the oldest
+	// (smallest — growth doubles) arrays are dropped to the garbage
+	// collector instead of being kept for pool recycling, so a Space
+	// never pins more than ~2x its largest backing in dead arrays.
 	retired [][]byte
 }
+
+// spaceMaxRetired caps Space.retired. Power-of-two growth means the
+// newest retained arrays hold nearly all the retired bytes; anything
+// older is worthless to the slab pool but would pin real memory for the
+// Space's whole lifetime — at 16k-rank sweeps that defeats the
+// flyweight memory win.
+const spaceMaxRetired = 4
 
 // NewSpace creates a space of the given size in bytes.
 func NewSpace(name string, kind Kind, size int64) *Space {
@@ -82,10 +93,33 @@ func (s *Space) ensure(n int64) {
 	}
 	copy(nd, s.data)
 	if len(s.data) > 0 {
+		if len(s.retired) >= spaceMaxRetired {
+			n := copy(s.retired, s.retired[1:])
+			s.retired[n] = nil
+			s.retired = s.retired[:n]
+		}
 		s.retired = append(s.retired, s.data)
 	}
 	s.data = nd
 }
+
+// RetiredSlabs returns how many outgrown backing arrays the space still
+// holds (bounded by spaceMaxRetired).
+func (s *Space) RetiredSlabs() int { return len(s.retired) }
+
+// RetiredBytes returns the bytes pinned by retired backing arrays.
+func (s *Space) RetiredBytes() int64 {
+	var n int64
+	for _, r := range s.retired {
+		n += int64(cap(r))
+	}
+	return n
+}
+
+// FootprintBytes returns the real memory backing the space: the live
+// array plus everything retired. This is the deterministic measure the
+// scale sweep reports as per-rank memory.
+func (s *Space) FootprintBytes() int64 { return int64(cap(s.data)) + s.RetiredBytes() }
 
 // Release returns the backing storage to the slab pool so a future
 // Space can reuse it without re-zeroing. The Space and every Buffer
@@ -232,6 +266,46 @@ func FillPattern(b Buffer, seed uint64) {
 		bs[i] = byte(x>>32) ^ byte(i)
 	}
 }
+
+// patternWord returns 64-bit word w of seed's synthetic stream using a
+// splitmix64-style finalizer. Unlike FillPattern's serial xorshift, any
+// word is computable in O(1), which is what lets modelled-payload
+// worlds generate the bytes of an arbitrary message window without
+// materializing the buffer around it.
+func patternWord(seed, w uint64) uint64 {
+	x := seed + (w+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SyntheticAt writes len(dst) bytes of the random-access synthetic
+// pattern for seed, starting at stream offset off. SyntheticAt(s, 0, b)
+// followed by reads anywhere is byte-identical to generating windows
+// directly: SyntheticAt(s, off, w) equals the slice [off, off+len(w))
+// of the full stream.
+func SyntheticAt(seed uint64, off int64, dst []byte) {
+	if off < 0 {
+		panic("mem: negative synthetic pattern offset")
+	}
+	i := 0
+	for i < len(dst) {
+		o := off + int64(i)
+		w := patternWord(seed, uint64(o)>>3)
+		for j := uint(o) & 7; j < 8 && i < len(dst); j++ {
+			dst[i] = byte(w>>(8*j)) ^ byte(off+int64(i))
+			i++
+		}
+	}
+}
+
+// FillSynthetic fills b with the synthetic pattern for seed (the
+// random-access counterpart of FillPattern, used wherever a generator
+// must later reproduce arbitrary windows of the contents).
+func FillSynthetic(b Buffer, seed uint64) { SyntheticAt(seed, 0, b.Bytes()) }
 
 // Equal reports whether two buffers have identical length and contents.
 func Equal(a, b Buffer) bool {

@@ -25,7 +25,55 @@ var (
 	poolMu    sync.Mutex
 	poolSlabs [][]byte // sorted by cap, ascending
 	poolBytes int64
+
+	poolGets    int64 // getSlab calls
+	poolHits    int64 // getSlab calls satisfied from the pool
+	poolPuts    int64 // putSlab calls that parked a slab
+	poolEvicted int64 // slabs dropped to stay under budget
 )
+
+// PoolStats is a snapshot of the slab pool: what it holds and how well
+// recycling works. HeldBytes/HeldSlabs bound the memory the pool pins
+// between worlds; the hit rate is the fraction of backing-array
+// requests served without a fresh allocation.
+type PoolStats struct {
+	HeldBytes int64
+	HeldSlabs int
+	Gets      int64
+	Hits      int64
+	Puts      int64
+	Evicted   int64
+}
+
+// HitRate returns Hits/Gets (0 when no requests were made).
+func (st PoolStats) HitRate() float64 {
+	if st.Gets == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Gets)
+}
+
+// SlabPoolStats returns the current pool statistics.
+func SlabPoolStats() PoolStats {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return PoolStats{
+		HeldBytes: poolBytes,
+		HeldSlabs: len(poolSlabs),
+		Gets:      poolGets,
+		Hits:      poolHits,
+		Puts:      poolPuts,
+		Evicted:   poolEvicted,
+	}
+}
+
+// ResetSlabPoolStats zeroes the counters (not the pool contents), so
+// tests can measure a single workload's recycle behaviour.
+func ResetSlabPoolStats() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolGets, poolHits, poolPuts, poolEvicted = 0, 0, 0, 0
+}
 
 // getSlab returns a recycled slab with cap >= n (sliced to length n), or
 // nil if none fits. A slab much larger than the request is left for a
@@ -34,6 +82,7 @@ var (
 func getSlab(n int64) []byte {
 	poolMu.Lock()
 	defer poolMu.Unlock()
+	poolGets++
 	for i, s := range poolSlabs {
 		c := int64(cap(s))
 		if c < n {
@@ -44,6 +93,7 @@ func getSlab(n int64) []byte {
 		}
 		poolSlabs = append(poolSlabs[:i], poolSlabs[i+1:]...)
 		poolBytes -= c
+		poolHits++
 		return s[:n]
 	}
 	return nil
@@ -66,8 +116,10 @@ func putSlab(s []byte) {
 	copy(poolSlabs[i+1:], poolSlabs[i:])
 	poolSlabs[i] = s
 	poolBytes += c
+	poolPuts++
 	for (poolBytes > poolBudget || len(poolSlabs) > poolMaxSlabs) && len(poolSlabs) > 0 {
 		poolBytes -= int64(cap(poolSlabs[0]))
 		poolSlabs = append(poolSlabs[:0], poolSlabs[1:]...)
+		poolEvicted++
 	}
 }

@@ -69,3 +69,47 @@ func TestSpaceReleaseRecyclesBacking(t *testing.T) {
 	}
 	s2.Release()
 }
+
+// TestPoolStats: the pool must report held bytes and a recycle hit
+// rate that reflects actual traffic.
+func TestPoolStats(t *testing.T) {
+	drainPool()
+	ResetSlabPoolStats()
+	if miss := getSlab(1 << 16); miss != nil {
+		t.Fatal("empty pool served a slab")
+	}
+	putSlab(make([]byte, 1<<16))
+	st := SlabPoolStats()
+	if st.HeldSlabs != 1 || st.HeldBytes != 1<<16 || st.Puts != 1 {
+		t.Fatalf("after one put: %+v", st)
+	}
+	if hit := getSlab(1 << 16); hit == nil {
+		t.Fatal("pool did not serve the parked slab")
+	}
+	st = SlabPoolStats()
+	if st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("gets/hits = %d/%d, want 2/1", st.Gets, st.Hits)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %.2f, want 0.50", got)
+	}
+	if st.HeldSlabs != 0 || st.HeldBytes != 0 {
+		t.Fatalf("pool not empty after handout: %+v", st)
+	}
+}
+
+// TestPoolStatsEviction: over-budget parks count as evictions.
+func TestPoolStatsEviction(t *testing.T) {
+	drainPool()
+	ResetSlabPoolStats()
+	for i := 0; i < poolMaxSlabs+3; i++ {
+		putSlab(make([]byte, 1<<12))
+	}
+	st := SlabPoolStats()
+	if st.Evicted != 3 {
+		t.Fatalf("evicted %d, want 3", st.Evicted)
+	}
+	if st.HeldSlabs != poolMaxSlabs {
+		t.Fatalf("held %d, want %d", st.HeldSlabs, poolMaxSlabs)
+	}
+}

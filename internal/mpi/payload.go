@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"io"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+)
+
+// Payload digest verification path.
+//
+// A SyntheticPayload names the contents of a (dt, count) buffer without
+// materializing it: a seed plus the compiled datatype layout determine
+// every byte, and any packed window of the elements can be regenerated
+// in O(window) by walking the layout's flattened blocks over the
+// random-access pattern (mem.SyntheticAt). Both operating modes of the
+// scale sweep hang off this one definition:
+//
+//   - real-payload worlds Fill() device buffers with the pattern, run
+//     the full protocol stack, and digest the packed results;
+//   - modelled-payload worlds (internal/model) never allocate the
+//     buffers at all — they regenerate the same packed windows on
+//     demand to sign messages and to compute the same digest.
+//
+// A modelled run is accepted only if its digest equals the real run's,
+// which is what keeps flyweight worlds honest about data movement.
+
+// SyntheticPayload describes deterministic synthetic contents for
+// count elements of Dt, seeded so distinct buffers differ.
+type SyntheticPayload struct {
+	Seed  uint64
+	Dt    *datatype.Datatype
+	Count int
+}
+
+// Span returns the memory footprint of the layout from its origin.
+func (sp SyntheticPayload) Span() int64 { return spanOf(sp.Dt, sp.Count) }
+
+// PackedBytes returns the packed size of the full payload.
+func (sp SyntheticPayload) PackedBytes() int64 { return int64(sp.Count) * sp.Dt.Size() }
+
+// Fill materializes the payload into a real buffer: every byte of the
+// buffer's span gets the pattern (gaps included), exactly like
+// mem.FillSynthetic of the whole region. Packed windows later read
+// from the buffer therefore match WritePacked byte-for-byte.
+func (sp SyntheticPayload) Fill(b mem.Buffer) { mem.FillSynthetic(b, sp.Seed) }
+
+// WritePacked streams the packed bytes of elements [elem0, elem0+n)
+// into w — the generator-side equivalent of packing those elements out
+// of a Fill()ed buffer. w is a sha256 digest or a Sig64; neither
+// returns errors.
+func (sp SyntheticPayload) WritePacked(w io.Writer, elem0, n int) {
+	flat := sp.Dt.Flat()
+	ext := sp.Dt.Extent()
+	var scratch [512]byte
+	for e := elem0; e < elem0+n; e++ {
+		base := int64(e) * ext
+		for _, blk := range flat {
+			off, ln := base+blk.Off, blk.Len
+			for ln > 0 {
+				c := ln
+				if c > int64(len(scratch)) {
+					c = int64(len(scratch))
+				}
+				mem.SyntheticAt(sp.Seed, off, scratch[:c])
+				w.Write(scratch[:c])
+				off += c
+				ln -= c
+			}
+		}
+	}
+}
+
+// PackedSig returns a 64-bit content signature of elements
+// [elem0, elem0+n) — cheap enough to attach to individual modelled
+// messages at 16k ranks.
+func (sp SyntheticPayload) PackedSig(elem0, n int) uint64 {
+	var s Sig64
+	sp.WritePacked(&s, elem0, n)
+	return s.Sum64()
+}
+
+// Sig64 is a streaming FNV-1a 64-bit signature implementing io.Writer,
+// so the same WritePacked generator feeds both sha256 digests (world
+// acceptance) and per-message signatures (in-flight verification).
+type Sig64 struct{ h uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Write folds p into the signature. It never fails.
+func (s *Sig64) Write(p []byte) (int, error) {
+	h := s.h
+	if h == 0 {
+		h = fnvOffset64
+	}
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	s.h = h
+	return len(p), nil
+}
+
+// Sum64 returns the signature so far (never zero, so zero can mean
+// "unsigned" in message fields).
+func (s *Sig64) Sum64() uint64 {
+	if s.h == 0 {
+		return fnvOffset64
+	}
+	return s.h
+}

@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/shapes"
+)
+
+// TestPayloadGeneratorMatchesPack: packing a Fill()ed buffer with the
+// reference CPU converter must give exactly the bytes WritePacked
+// generates — the equivalence the modelled-payload mode rests on.
+func TestPayloadGeneratorMatchesPack(t *testing.T) {
+	dt := shapes.SubMatrix(16, 8, 12)
+	const count = 6
+	sp := SyntheticPayload{Seed: 3017, Dt: dt, Count: count}
+
+	s := mem.NewSpace("host", mem.Host, 1<<22)
+	buf := s.Alloc(sp.Span(), 0)
+	sp.Fill(buf)
+
+	c := datatype.NewConverter(dt, count)
+	packed := make([]byte, c.Total())
+	c.Pack(packed, buf.Bytes())
+
+	var gen bytes.Buffer
+	sp.WritePacked(&gen, 0, count)
+	if !bytes.Equal(gen.Bytes(), packed) {
+		t.Fatal("generated packed bytes differ from converter-packed buffer")
+	}
+
+	// Sub-ranges must match the corresponding packed window.
+	var win bytes.Buffer
+	sp.WritePacked(&win, 2, 3)
+	lo, hi := 2*dt.Size(), 5*dt.Size()
+	if !bytes.Equal(win.Bytes(), packed[lo:hi]) {
+		t.Fatal("element window [2,5) differs from packed window")
+	}
+}
+
+// TestPayloadSigProperties: signatures are deterministic, content- and
+// range-sensitive, and never zero.
+func TestPayloadSigProperties(t *testing.T) {
+	dt := shapes.SubMatrix(16, 8, 12)
+	sp := SyntheticPayload{Seed: 9, Dt: dt, Count: 8}
+	a := sp.PackedSig(0, 4)
+	if a != sp.PackedSig(0, 4) {
+		t.Fatal("signature not deterministic")
+	}
+	if a == sp.PackedSig(4, 4) {
+		t.Fatal("disjoint ranges collide")
+	}
+	if a == (SyntheticPayload{Seed: 10, Dt: dt, Count: 8}).PackedSig(0, 4) {
+		t.Fatal("seeds collide")
+	}
+	if a == 0 {
+		t.Fatal("signature must never be zero (zero means unsigned)")
+	}
+	var empty Sig64
+	if empty.Sum64() == 0 {
+		t.Fatal("empty signature must not be zero")
+	}
+}
+
+// TestPayloadSigMatchesSha: WritePacked must feed any io.Writer the
+// same stream (sha256 for digests, Sig64 for messages).
+func TestPayloadSigMatchesSha(t *testing.T) {
+	dt := shapes.SubMatrix(4, 4, 6)
+	sp := SyntheticPayload{Seed: 77, Dt: dt, Count: 3}
+	h1, h2 := sha256.New(), sha256.New()
+	sp.WritePacked(h1, 0, 3)
+	sp.WritePacked(h2, 0, 3)
+	if !bytes.Equal(h1.Sum(nil), h2.Sum(nil)) {
+		t.Fatal("two identical streams hashed differently")
+	}
+}

@@ -241,6 +241,20 @@ func (w *World) Close() {
 	}
 }
 
+// FootprintBytes returns the real memory backing the world's simulated
+// address spaces, summed over every node (host plus device). This is
+// what the scale sweep reports as the per-rank memory of the
+// real-payload arm, against which the modelled-payload flyweight
+// worlds (internal/model, Result.StateBytes) are compared. Call before
+// Close — a released world's backing has returned to the slab pool.
+func (w *World) FootprintBytes() int64 {
+	var total int64
+	for _, n := range w.nodes {
+		total += n.FootprintBytes()
+	}
+	return total
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 

@@ -137,6 +137,17 @@ func (n *Node) Release() {
 	}
 }
 
+// FootprintBytes returns the real memory backing the node's simulated
+// spaces: host DRAM plus every GPU's device memory (see
+// mem.Space.FootprintBytes).
+func (n *Node) FootprintBytes() int64 {
+	total := n.host.FootprintBytes()
+	for _, d := range n.gpus {
+		total += d.Mem().FootprintBytes()
+	}
+	return total
+}
+
 // NumGPUs returns the number of GPUs.
 func (n *Node) NumGPUs() int { return len(n.gpus) }
 
