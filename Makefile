@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check chaos-check scale-check megascale-check vcoll-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check scale-check megascale-check vcoll-check app-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -87,6 +87,27 @@ vcoll-check:
 	$(GO) test ./internal/trace -run TestComputeOverlap
 	$(GO) test ./internal/bench -run 'TestOverlapFractionPinned|TestOverlapGoldenTrace|TestGoldenFigures$$'
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzAlltoallvCounts -fuzztime 10s
+
+# Application-workload gate: the group-collective oracle (ring/tree vs
+# the native allreduce, group-scoped alltoallv/barrier), the typed
+# co-scheduling validation table, the grouped Chrome-export schema, the
+# race-enabled workload suite (family verification, subarray halo
+# spans, the interference smoke and its byte-identical determinism
+# re-run), the MoE count-matrix fuzz smoke, and the quick appbench
+# sweep run twice — the two JSON reports must be byte-identical.
+app-check:
+	$(GO) test ./internal/mpi -run 'TestGroup|TestNewGroup'
+	$(GO) test ./internal/cluster -run 'TestValidate|TestCoSchedule'
+	$(GO) test ./internal/trace -run TestWriteChromeGrouped
+	$(GO) test ./internal/mpiio -run TestGroupScopedBarrier
+	$(GO) test ./internal/shapes -run TestHaloFace
+	$(GO) test -race ./internal/workload
+	$(GO) test ./internal/bench -run 'TestAppGrid|TestQuickAppSweep'
+	$(GO) test ./cmd/appbench
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzMoECounts -fuzztime 10s
+	$(GO) run ./cmd/appbench -quick -out /tmp/apps-a.json
+	$(GO) run ./cmd/appbench -quick -out /tmp/apps-b.json
+	cmp /tmp/apps-a.json /tmp/apps-b.json
 
 # Longer fuzzing session against the differential oracle.
 fuzz:

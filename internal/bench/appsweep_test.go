@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAppGrid(t *testing.T) {
+	cases := []struct {
+		ranks, nd int
+		want      []int
+	}{
+		{8, 2, []int{4, 2}},
+		{8, 3, []int{2, 2, 2}},
+		{16, 2, []int{4, 4}},
+		{16, 3, []int{4, 2, 2}},
+		{32, 3, []int{4, 4, 2}},
+	}
+	for _, c := range cases {
+		got, err := appGrid(c.ranks, c.nd)
+		if err != nil || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("appGrid(%d, %d) = %v, %v; want %v", c.ranks, c.nd, got, err, c.want)
+		}
+	}
+	for _, bad := range []struct{ ranks, nd int }{{12, 2}, {4, 3}} {
+		if _, err := appGrid(bad.ranks, bad.nd); err == nil {
+			t.Errorf("appGrid(%d, %d): no error", bad.ranks, bad.nd)
+		}
+	}
+}
+
+// TestQuickAppSweep runs the CI shape end-to-end: every family point
+// verified and digest-stamped, stencil points carrying subarray span
+// counts, and the interference study clean under all three policies.
+func TestQuickAppSweep(t *testing.T) {
+	sw := QuickAppSweep()
+	pts, err := RunApps(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(appFamilies) * len(sw.RankCounts) * len(sw.Oversubs); len(pts) != want {
+		t.Fatalf("points = %d, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Digest == "" || p.ElapsedUs <= 0 {
+			t.Errorf("%s/%d: bad point %+v", p.Family, p.Ranks, p)
+		}
+	}
+	studies, err := RunAppStudies(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) != len(sw.Policies) {
+		t.Fatalf("studies = %d, want %d", len(studies), len(sw.Policies))
+	}
+	for _, st := range studies {
+		for _, j := range st.Jobs {
+			if j.Slowdown < 0.999 {
+				t.Errorf("%s/%s: slowdown %.3f", st.Policy, j.Job, j.Slowdown)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuddt/internal/mpi"
+)
+
+// Typed validation errors. Callers branch with errors.Is; every error
+// returned by Validate and CoSchedule wraps exactly one of these.
+var (
+	// ErrShape marks a non-positive or internally inconsistent cluster
+	// shape (node/GPU/rank counts, fat-tree radix, shard count).
+	ErrShape = errors.New("cluster: invalid shape")
+
+	// ErrCapacity marks a job mix that does not fit the cluster under
+	// the requested placement policy.
+	ErrCapacity = errors.New("cluster: insufficient capacity")
+
+	// ErrPlacement marks a job/policy combination the policy cannot lay
+	// out on this shape (e.g. a node or slot count not divisible by the
+	// job count).
+	ErrPlacement = errors.New("cluster: invalid placement")
+
+	// ErrPolicy marks an unknown placement policy name.
+	ErrPolicy = errors.New("cluster: unknown placement policy")
+)
+
+// Validate checks the spec shape and returns a typed error (wrapping
+// ErrShape) instead of deferring to a panic deep inside world
+// construction.
+func (s Spec) Validate() error {
+	if s.Nodes < 0 || s.GPUsPerNode < 0 || s.RanksPerNode < 0 {
+		return fmt.Errorf("%w: negative dimension in %dx%dx%d (nodes x gpus x ranks)",
+			ErrShape, s.Nodes, s.GPUsPerNode, s.RanksPerNode)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("%w: negative shard count %d", ErrShape, s.Shards)
+	}
+	if s.Shards > 0 && !s.Modelled {
+		return fmt.Errorf("%w: %d engine shards require the modelled mode", ErrShape, s.Shards)
+	}
+	t := s.IB.Topo
+	if t.LeafRadix < 0 || t.Spines < 0 {
+		return fmt.Errorf("%w: negative fat-tree geometry %d:%d", ErrShape, t.LeafRadix, t.Spines)
+	}
+	if t.Spines > 0 && t.LeafRadix == 0 {
+		return fmt.Errorf("%w: %d spines without a leaf radix", ErrShape, t.Spines)
+	}
+	if t.Spines > t.LeafRadix {
+		return fmt.Errorf("%w: %d spines exceed the %d-port leaf radix", ErrShape, t.Spines, t.LeafRadix)
+	}
+	return nil
+}
+
+// Policy names a co-scheduling placement policy for multi-job runs.
+type Policy string
+
+// The placement policies the interference studies sweep:
+//
+//   - packed: each job gets a contiguous block of nodes — the best
+//     locality a scheduler can give, jobs meet only on shared spines.
+//   - spread: every node hosts an equal share of every job — maximal
+//     locality for none, every link shared.
+//   - striped: jobs alternate whole nodes round-robin — full nodes per
+//     job but interleaved across leaves.
+const (
+	PolicyPacked  Policy = "packed"
+	PolicySpread  Policy = "spread"
+	PolicyStriped Policy = "striped"
+)
+
+// Policies lists every placement policy, in sweep order.
+var Policies = []Policy{PolicyPacked, PolicySpread, PolicyStriped}
+
+// CoSchedule lays out `jobs` jobs of ranksPerJob ranks each on s's
+// nodes under the given policy. It returns the full placement list
+// (global rank j*ranksPerJob+lr is job j's local rank lr) and, per job,
+// the global ranks belonging to it. All shape and fit problems come
+// back as typed errors (ErrShape / ErrPolicy / ErrPlacement /
+// ErrCapacity) — never panics — so sweep drivers can skip impossible
+// corners cleanly.
+func CoSchedule(s Spec, jobs, ranksPerJob int, policy Policy) ([]mpi.Placement, [][]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if jobs <= 0 || ranksPerJob <= 0 {
+		return nil, nil, fmt.Errorf("%w: %d jobs x %d ranks", ErrShape, jobs, ranksPerJob)
+	}
+	n := s.normalized()
+	if jobs*ranksPerJob > n.Nodes*n.RanksPerNode {
+		return nil, nil, fmt.Errorf("%w: %d jobs x %d ranks > %d slots",
+			ErrCapacity, jobs, ranksPerJob, n.Nodes*n.RanksPerNode)
+	}
+
+	place := make([]mpi.Placement, jobs*ranksPerJob)
+	jobRanks := make([][]int, jobs)
+	at := func(j, lr, node, slot int) {
+		place[j*ranksPerJob+lr] = mpi.Placement{Node: node, GPU: slot % n.GPUsPerNode}
+		jobRanks[j] = append(jobRanks[j], j*ranksPerJob+lr)
+	}
+
+	switch policy {
+	case PolicyPacked:
+		if n.Nodes%jobs != 0 {
+			return nil, nil, fmt.Errorf("%w: packed needs %d nodes divisible by %d jobs",
+				ErrPlacement, n.Nodes, jobs)
+		}
+		npj := n.Nodes / jobs
+		if ranksPerJob > npj*n.RanksPerNode {
+			return nil, nil, fmt.Errorf("%w: packed job of %d ranks > %d nodes x %d slots",
+				ErrCapacity, ranksPerJob, npj, n.RanksPerNode)
+		}
+		for j := 0; j < jobs; j++ {
+			for lr := 0; lr < ranksPerJob; lr++ {
+				at(j, lr, j*npj+lr/n.RanksPerNode, lr%n.RanksPerNode)
+			}
+		}
+	case PolicySpread:
+		if n.RanksPerNode%jobs != 0 {
+			return nil, nil, fmt.Errorf("%w: spread needs %d slots per node divisible by %d jobs",
+				ErrPlacement, n.RanksPerNode, jobs)
+		}
+		spj := n.RanksPerNode / jobs
+		if ranksPerJob > n.Nodes*spj {
+			return nil, nil, fmt.Errorf("%w: spread job of %d ranks > %d nodes x %d slots",
+				ErrCapacity, ranksPerJob, n.Nodes, spj)
+		}
+		for j := 0; j < jobs; j++ {
+			for lr := 0; lr < ranksPerJob; lr++ {
+				at(j, lr, lr/spj, j*spj+lr%spj)
+			}
+		}
+	case PolicyStriped:
+		if n.Nodes%jobs != 0 {
+			return nil, nil, fmt.Errorf("%w: striped needs %d nodes divisible by %d jobs",
+				ErrPlacement, n.Nodes, jobs)
+		}
+		npj := n.Nodes / jobs
+		if ranksPerJob > npj*n.RanksPerNode {
+			return nil, nil, fmt.Errorf("%w: striped job of %d ranks > %d nodes x %d slots",
+				ErrCapacity, ranksPerJob, npj, n.RanksPerNode)
+		}
+		for j := 0; j < jobs; j++ {
+			for lr := 0; lr < ranksPerJob; lr++ {
+				at(j, lr, j+(lr/n.RanksPerNode)*jobs, lr%n.RanksPerNode)
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: %q", ErrPolicy, policy)
+	}
+	return place, jobRanks, nil
+}

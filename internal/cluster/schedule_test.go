@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"gpuddt/internal/ib"
+)
+
+// TestValidateCorners is the table test over inconsistent shapes: each
+// invalid corner must come back as the right typed error, never a
+// panic.
+func TestValidateCorners(t *testing.T) {
+	fat := func(leaf, spines int) ib.Params {
+		p := ib.DefaultParams()
+		p.Topo = ib.Topology{LeafRadix: leaf, Spines: spines}
+		return p
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		want error
+	}{
+		{"zero value ok", Spec{}, nil},
+		{"scale ok", Scale(16, 4, 4, 2), nil},
+		{"negative nodes", Spec{Nodes: -1}, ErrShape},
+		{"negative gpus", Spec{GPUsPerNode: -2}, ErrShape},
+		{"negative ranks", Spec{RanksPerNode: -4}, ErrShape},
+		{"negative shards", Spec{Modelled: true, Shards: -1}, ErrShape},
+		{"shards without modelled", Spec{Shards: 4}, ErrShape},
+		{"modelled shards ok", Spec{Modelled: true, Shards: 4}, nil},
+		{"negative leaf radix", Spec{IB: fat(-8, 0)}, ErrShape},
+		{"negative spines", Spec{IB: fat(8, -1)}, ErrShape},
+		{"spines without leaves", Spec{IB: fat(0, 4)}, ErrShape},
+		{"spines beyond radix", Spec{IB: fat(4, 8)}, ErrShape},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: Validate = %v, want nil", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: Validate = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCoScheduleCorners covers the invalid job/policy combinations.
+func TestCoScheduleCorners(t *testing.T) {
+	s := Scale(8, 4, 4, 2) // 8 nodes x 4 slots = 32 rank slots
+	cases := []struct {
+		name        string
+		jobs, ranks int
+		policy      Policy
+		want        error
+	}{
+		{"zero jobs", 0, 8, PolicyPacked, ErrShape},
+		{"zero ranks", 2, 0, PolicyPacked, ErrShape},
+		{"over capacity", 2, 20, PolicyPacked, ErrCapacity},
+		{"packed indivisible nodes", 3, 4, PolicyPacked, ErrPlacement},
+		{"packed job too big", 2, 17, PolicyPacked, ErrCapacity},
+		{"spread indivisible slots", 3, 4, PolicySpread, ErrPlacement},
+		{"spread job too big", 2, 17, PolicySpread, ErrCapacity},
+		{"striped indivisible nodes", 3, 4, PolicyStriped, ErrPlacement},
+		{"unknown policy", 2, 8, Policy("random"), ErrPolicy},
+		{"bad spec", 2, 8, PolicyPacked, ErrShape},
+	}
+	for _, c := range cases {
+		spec := s
+		if c.name == "bad spec" {
+			spec.Nodes = -1
+		}
+		_, _, err := CoSchedule(spec, c.jobs, c.ranks, c.policy)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: CoSchedule err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCoScheduleLayouts checks the three policies place every rank on a
+// valid slot, jobs never share a slot, and each policy has its
+// signature shape.
+func TestCoScheduleLayouts(t *testing.T) {
+	s := Scale(8, 4, 4, 2)
+	const jobs, rpj = 2, 16
+	for _, pol := range Policies {
+		place, jobRanks, err := CoSchedule(s, jobs, rpj, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(place) != jobs*rpj || len(jobRanks) != jobs {
+			t.Fatalf("%s: got %d placements, %d jobs", pol, len(place), len(jobRanks))
+		}
+		perNode := map[int]int{}
+		for r, pl := range place {
+			if pl.Node < 0 || pl.Node >= 8 || pl.GPU < 0 || pl.GPU >= 4 {
+				t.Fatalf("%s: rank %d on node %d gpu %d out of range", pol, r, pl.Node, pl.GPU)
+			}
+			perNode[pl.Node]++
+		}
+		for node, cnt := range perNode {
+			if cnt > 4 {
+				t.Fatalf("%s: node %d hosts %d ranks > 4 slots", pol, node, cnt)
+			}
+		}
+		nodesOf := func(j int) map[int]bool {
+			ns := map[int]bool{}
+			for _, r := range jobRanks[j] {
+				ns[place[r].Node] = true
+			}
+			return ns
+		}
+		n0, n1 := nodesOf(0), nodesOf(1)
+		share := 0
+		for n := range n0 {
+			if n1[n] {
+				share++
+			}
+		}
+		switch pol {
+		case PolicyPacked:
+			if share != 0 {
+				t.Errorf("packed: jobs share %d nodes, want 0", share)
+			}
+			if len(n0) != 4 || len(n1) != 4 {
+				t.Errorf("packed: job node counts %d/%d, want 4/4", len(n0), len(n1))
+			}
+		case PolicySpread:
+			if share != 8 {
+				t.Errorf("spread: jobs share %d nodes, want all 8", share)
+			}
+		case PolicyStriped:
+			if share != 0 {
+				t.Errorf("striped: jobs share %d nodes, want 0", share)
+			}
+			for n := range n0 {
+				if n%2 != 0 {
+					t.Errorf("striped: job 0 on node %d, want even nodes", n)
+				}
+			}
+		}
+	}
+}

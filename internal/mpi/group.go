@@ -1,0 +1,393 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// Group is an ordered subset of the world's ranks with its own
+// collective operations — the communicator-like handle the application
+// workload layer (internal/workload) schedules jobs on. Two co-scheduled
+// jobs on one cluster each get a Group over their own ranks, so a job's
+// barriers and allreduces never synchronize (or cross-match) with the
+// other job's: every group operation is built from point-to-point
+// messages between group members only, tagged out of a per-group tag
+// block.
+//
+// Group algorithms are deliberately *always* the group-local ones, even
+// when the group spans the whole world — a job measured alone and the
+// same job measured against a co-scheduled neighbour must run the exact
+// same schedule, so the difference between the two runs is pure fabric
+// contention (the per-job slowdown the interference studies report),
+// never an algorithm switch.
+type Group struct {
+	w     *World
+	id    int
+	ranks []int // global ranks, group order
+	local []int // global rank -> local index, -1 for non-members
+	seq   []int64
+}
+
+// Group tag blocks sit above the world-collective tag space
+// (collTagBase + collSeq): each group owns groupTagSpan tags starting at
+// groupTagBase + id*groupTagSpan, and members advance the group's
+// sequence identically per operation, exactly like collSeq.
+const (
+	groupTagBase = 1 << 24
+	groupTagSpan = 1 << 20
+)
+
+// AllreduceAlg selects the group allreduce schedule.
+type AllreduceAlg int
+
+// Allreduce algorithms: the bandwidth-optimal ring
+// (reduce-scatter + allgather, the schedule ML frameworks use for large
+// fused gradient buckets) and the latency-optimal binomial tree
+// (reduce to the group root + broadcast).
+const (
+	AllreduceRing AllreduceAlg = iota
+	AllreduceTree
+)
+
+func (a AllreduceAlg) String() string {
+	if a == AllreduceRing {
+		return "ring"
+	}
+	return "tree"
+}
+
+// NewGroup builds a group over the given global ranks (in group order).
+// Ranks must be in range and distinct. Call before Run, once per job,
+// and share the handle across the group's ranks.
+func (w *World) NewGroup(ranks []int) *Group {
+	if len(ranks) == 0 {
+		panic("mpi: empty group")
+	}
+	g := &Group{
+		w:     w,
+		id:    w.groupSeq,
+		ranks: append([]int(nil), ranks...),
+		local: make([]int, len(w.ranks)),
+		seq:   make([]int64, len(ranks)),
+	}
+	w.groupSeq++
+	for i := range g.local {
+		g.local[i] = -1
+	}
+	for lr, r := range ranks {
+		if r < 0 || r >= len(w.ranks) {
+			panic(fmt.Sprintf("mpi: group rank %d out of range", r))
+		}
+		if g.local[r] >= 0 {
+			panic(fmt.Sprintf("mpi: duplicate group rank %d", r))
+		}
+		g.local[r] = lr
+	}
+	return g
+}
+
+// Size returns the number of group members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the group's global ranks in group order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// Contains reports whether global rank r is a member.
+func (g *Group) Contains(r int) bool { return r >= 0 && r < len(g.local) && g.local[r] >= 0 }
+
+// LocalRank returns m's index within the group; m must be a member.
+func (g *Group) LocalRank(m *Rank) int {
+	lr := g.local[m.rank]
+	if lr < 0 {
+		panic(fmt.Sprintf("mpi: rank %d is not in the group", m.rank))
+	}
+	return lr
+}
+
+// tagBlock reserves n consecutive tags from the group's block. Every
+// member must reserve the same budget per operation (budgets depend only
+// on group and world size), mirroring the world collSeq discipline.
+func (g *Group) tagBlock(lr, n int) int {
+	t := groupTagBase + g.id*groupTagSpan + int(g.seq[lr])
+	g.seq[lr] += int64(n)
+	if g.seq[lr] > groupTagSpan {
+		panic("mpi: group tag space exhausted")
+	}
+	return t
+}
+
+// tokenDT is the 8-byte barrier token.
+var tokenDT = datatype.Contiguous(1, datatype.Int64)
+
+// barrierRounds is ceil(log2(size)), the dissemination round count.
+func barrierRounds(size int) int {
+	n := 0
+	for k := 1; k < size; k <<= 1 {
+		n++
+	}
+	return n
+}
+
+// Barrier blocks until every group member has entered it
+// (dissemination algorithm over point-to-point token messages; only
+// group traffic, so two jobs' barriers are fully independent).
+func (g *Group) Barrier(m *Rank) {
+	size := len(g.ranks)
+	lr := g.LocalRank(m)
+	tag := g.tagBlock(lr, barrierRounds(size))
+	if size == 1 {
+		return
+	}
+	p := m.p
+	tok := m.scratch(8)
+	in := m.scratch(8)
+	for s, k := 0, 1; k < size; s, k = s+1, k<<1 {
+		to := g.ranks[(lr+k)%size]
+		from := g.ranks[(lr-k+size)%size]
+		sreq := m.isendOn(p, tok.Slice(0, 8), tokenDT, 1, to, tag+s)
+		rreq := m.Irecv(in.Slice(0, 8), tokenDT, 1, from, tag+s)
+		sreq.Wait(p)
+		rreq.Wait(p)
+	}
+	m.freeScratch(in)
+	m.freeScratch(tok)
+}
+
+// Allreduce combines count elements of dt (a contiguous single-primitive
+// layout, as for Reduce) from every member's sendBuf into every member's
+// recvBuf. The ring algorithm is reduce-scatter + allgather around the
+// group ring; the tree algorithm is a binomial reduce to the group root
+// followed by a binomial broadcast. Both run entirely on group-member
+// point-to-point traffic.
+func (g *Group) Allreduce(m *Rank, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, alg AllreduceAlg) {
+	prim := reducePrim(dt)
+	lr := g.LocalRank(m)
+	p := m.p
+	switch alg {
+	case AllreduceRing:
+		tag := g.tagBlock(lr, 2*len(g.ranks))
+		g.allreduceRing(m, p, tag, lr, sendBuf, recvBuf, dt, count, prim, op)
+	case AllreduceTree:
+		tag := g.tagBlock(lr, m.Size()+1)
+		g.allreduceTree(m, p, tag, sendBuf, recvBuf, dt, count, prim, op)
+	default:
+		panic("mpi: unknown allreduce algorithm")
+	}
+}
+
+// allreduceTree: binomial reduce into the group root's recvBuf, then
+// binomial broadcast of the result. Every member accumulates in its own
+// recvBuf (valid everywhere for an allreduce), so no extra staging is
+// needed beyond binomialReduce's internal receive buffer.
+func (g *Group) allreduceTree(m *Rank, p *sim.Proc, tag int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, prim datatype.Primitive, op Op) {
+	n := int64(count) * dt.Size()
+	acc := recvBuf.Slice(0, n)
+	m.localCopy(p, sendBuf, dt, count, acc, dt, count)
+	m.binomialReduce(p, g.ranks, 0, acc, dt, count, prim, op, tag)
+	g.bcastLocal(m, p, tag+m.Size(), recvBuf.Slice(0, n), dt, count, 0)
+}
+
+// bcastLocal is the binomial broadcast over the group from group index
+// rootIdx, using a single tag (every hop is a distinct rank pair).
+func (g *Group) bcastLocal(m *Rank, p *sim.Proc, tag int, buf mem.Buffer, dt *datatype.Datatype, count, rootIdx int) {
+	size := len(g.ranks)
+	if size == 1 {
+		return
+	}
+	lr := g.LocalRank(m)
+	vrank := (lr - rootIdx + size) % size
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := g.ranks[((vrank-mask)+rootIdx)%size]
+			m.recvOn(p, buf, dt, count, parent, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := g.ranks[(vrank+mask+rootIdx)%size]
+			m.sendOn(p, buf, dt, count, child, tag)
+		}
+		mask >>= 1
+	}
+}
+
+// chunkOff returns the byte offset of ring chunk c when n bytes of
+// 8-byte words are split into size near-equal chunks.
+func chunkOff(n int64, size, c int) int64 {
+	words := n / 8
+	return (words * int64(c) / int64(size)) * 8
+}
+
+// allreduceRing: reduce-scatter around the ring (after size-1 steps,
+// member lr owns the fully combined chunk (lr+1) mod size), then an
+// allgather ring redistributes the combined chunks. Chunk boundaries
+// are 8-byte aligned; empty chunks (count < group size) are elided
+// symmetrically on both sides.
+func (g *Group) allreduceRing(m *Rank, p *sim.Proc, tag, lr int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, prim datatype.Primitive, op Op) {
+	size := len(g.ranks)
+	n := int64(count) * dt.Size()
+	m.localCopy(p, sendBuf, dt, count, recvBuf.Slice(0, n), dt, count)
+	if size == 1 || n == 0 {
+		return
+	}
+	right := g.ranks[(lr+1)%size]
+	left := g.ranks[(lr-1+size)%size]
+
+	chunk := func(c int) mem.Buffer {
+		lo, hi := chunkOff(n, size, c), chunkOff(n, size, c+1)
+		return recvBuf.Slice(lo, hi-lo)
+	}
+	chunkDT := func(c int) (*datatype.Datatype, int) {
+		lo, hi := chunkOff(n, size, c), chunkOff(n, size, c+1)
+		base := datatype.Float64
+		if prim == datatype.PrimInt64 {
+			base = datatype.Int64
+		}
+		return base, int((hi - lo) / 8)
+	}
+
+	// Receive staging for the combine phase, in the accumulator's
+	// location class.
+	maxChunk := int64(0)
+	for c := 0; c < size; c++ {
+		if w := chunkOff(n, size, c+1) - chunkOff(n, size, c); w > maxChunk {
+			maxChunk = w
+		}
+	}
+	var tmp mem.Buffer
+	if maxChunk > 0 {
+		if recvBuf.Kind() == mem.Device {
+			tmp = m.ringBuf(recvBuf.Space(), maxChunk)
+		} else {
+			tmp = m.scratch(maxChunk)
+		}
+	}
+
+	// Reduce-scatter.
+	for s := 0; s < size-1; s++ {
+		sc := (lr - s + size*2) % size
+		rc := (lr - s - 1 + size*2) % size
+		sdt, scount := chunkDT(sc)
+		rdt, rcount := chunkDT(rc)
+		var sreq, rreq *Request
+		if scount > 0 {
+			sreq = m.isendOn(p, chunk(sc), sdt, scount, right, tag+s)
+		}
+		if rcount > 0 {
+			rreq = m.Irecv(tmp.Slice(0, int64(rcount)*8), rdt, rcount, left, tag+s)
+		}
+		if sreq != nil {
+			sreq.Wait(p)
+		}
+		if rreq != nil {
+			rreq.Wait(p)
+			m.combine(p, chunk(rc), tmp.Slice(0, int64(rcount)*8), prim, op)
+		}
+	}
+
+	// Allgather of the combined chunks.
+	for s := 0; s < size-1; s++ {
+		sc := (lr + 1 - s + size*2) % size
+		rc := (lr - s + size*2) % size
+		sdt, scount := chunkDT(sc)
+		rdt, rcount := chunkDT(rc)
+		var sreq, rreq *Request
+		if scount > 0 {
+			sreq = m.isendOn(p, chunk(sc), sdt, scount, right, tag+size-1+s)
+		}
+		if rcount > 0 {
+			rreq = m.Irecv(chunk(rc), rdt, rcount, left, tag+size-1+s)
+		}
+		if sreq != nil {
+			sreq.Wait(p)
+		}
+		if rreq != nil {
+			rreq.Wait(p)
+		}
+	}
+
+	if tmp.IsValid() {
+		if tmp.Kind() == mem.Device {
+			m.releaseRing(tmp)
+		} else {
+			m.freeScratch(tmp)
+		}
+	}
+}
+
+// Alltoallv exchanges scounts[j] elements of sdt (at sdispls[j], in
+// extent units) with every group member j, receiving rcounts[i] at
+// rdispls[i] from member i — the group-scoped counterpart of the world
+// Alltoallv, indices in group order. Zero-count pairs move no bytes and
+// post no messages; the count matrices are part of the collective's
+// signature as in the world variant.
+func (g *Group) Alltoallv(m *Rank, sendBuf mem.Buffer, scounts, sdispls []int, sdt *datatype.Datatype,
+	recvBuf mem.Buffer, rcounts, rdispls []int, rdt *datatype.Datatype) {
+	size := len(g.ranks)
+	checkVArgs("group Alltoallv", size, scounts, sdispls)
+	checkVArgs("group Alltoallv", size, rcounts, rdispls)
+	lr := g.LocalRank(m)
+	p := m.p
+	tag := g.tagBlock(lr, 1)
+
+	// Local block first.
+	if int64(scounts[lr])*sdt.Size() > 0 {
+		m.localCopy(p,
+			vslot(sendBuf, sdt, scounts[lr], sdispls[lr]), sdt, scounts[lr],
+			vslot(recvBuf, rdt, rcounts[lr], rdispls[lr]), rdt, rcounts[lr])
+	}
+	pow2 := size&(size-1) == 0
+	for s := 1; s < size; s++ {
+		var st, rf int
+		if pow2 {
+			st = lr ^ s
+			rf = st
+		} else {
+			st = (lr + s) % size
+			rf = (lr - s + size) % size
+		}
+		var sreq, rreq *Request
+		if int64(scounts[st])*sdt.Size() > 0 {
+			sreq = m.isendOn(p, vslot(sendBuf, sdt, scounts[st], sdispls[st]), sdt, scounts[st], g.ranks[st], tag)
+		}
+		if int64(rcounts[rf])*rdt.Size() > 0 {
+			rreq = m.Irecv(vslot(recvBuf, rdt, rcounts[rf], rdispls[rf]), rdt, rcounts[rf], g.ranks[rf], tag)
+		}
+		if sreq != nil {
+			sreq.Wait(p)
+		}
+		if rreq != nil {
+			rreq.Wait(p)
+		}
+	}
+}
+
+// SendRecvLocal exchanges (count, dt) messages with two group members
+// given by their local indices, drawing the tag from the group block so
+// neighbouring phases never cross-match.
+func (g *Group) SendRecvLocal(m *Rank, sendBuf mem.Buffer, sdt *datatype.Datatype, scount, destLocal int,
+	recvBuf mem.Buffer, rdt *datatype.Datatype, rcount, srcLocal int) {
+	lr := g.LocalRank(m)
+	tag := g.tagBlock(lr, 1)
+	p := m.p
+	var sreq, rreq *Request
+	if scount > 0 && int64(scount)*sdt.Size() > 0 {
+		sreq = m.isendOn(p, sendBuf, sdt, scount, g.ranks[destLocal], tag)
+	}
+	if rcount > 0 && int64(rcount)*rdt.Size() > 0 {
+		rreq = m.Irecv(recvBuf, rdt, rcount, g.ranks[srcLocal], tag)
+	}
+	if sreq != nil {
+		sreq.Wait(p)
+	}
+	if rreq != nil {
+		rreq.Wait(p)
+	}
+}

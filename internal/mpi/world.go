@@ -118,6 +118,8 @@ type World struct {
 	hier   hierarchy
 	faults *fault.Injector // nil when cfg.Faults is nil
 	wins   [][]mem.Buffer  // RMA window registry: wins[id][rank]
+
+	groupSeq int // next Group id; each group owns its own tag block
 }
 
 // hierarchy is the node grouping the topology-aware collectives run

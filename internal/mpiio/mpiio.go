@@ -27,15 +27,30 @@ type Params struct {
 	BandwidthGBps float64
 	// OpLatency is the per-operation latency (default 100 us).
 	OpLatency sim.Time
+
+	// Link, when set, is the storage link the file shares instead of
+	// creating its own: co-scheduled jobs that checkpoint through the
+	// same link contend for the aggregate file-system bandwidth (the
+	// multi-job interference scenario); BandwidthGBps and OpLatency are
+	// then ignored.
+	Link *sim.Link
+
+	// Barrier, when set, replaces the world-wide barrier that closes
+	// each collective WriteAll/ReadAll epoch. A job running on a subset
+	// of the world's ranks (an mpi.Group) must scope completion to its
+	// own members — a world barrier would deadlock against ranks that
+	// never enter the I/O call.
+	Barrier func(m *mpi.Rank)
 }
 
 // File is a shared simulated file.
 type File struct {
-	w     *mpi.World
-	data  mem.Buffer
-	size  int64
-	link  *sim.Link
-	views []view // per rank
+	w       *mpi.World
+	data    mem.Buffer
+	size    int64
+	link    *sim.Link
+	views   []view // per rank
+	barrier func(m *mpi.Rank)
 }
 
 type view struct {
@@ -53,12 +68,21 @@ func Open(w *mpi.World, name string, size int64, p Params) *File {
 	if p.OpLatency == 0 {
 		p.OpLatency = 100 * sim.Microsecond
 	}
+	link := p.Link
+	if link == nil {
+		link = w.Engine().NewLink("fs:"+name, p.BandwidthGBps, p.OpLatency)
+	}
+	barrier := p.Barrier
+	if barrier == nil {
+		barrier = func(m *mpi.Rank) { m.Barrier() }
+	}
 	return &File{
-		w:     w,
-		data:  mem.NewSpace("file:"+name, mem.Host, size).Alloc(size, 1),
-		size:  size,
-		link:  w.Engine().NewLink("fs:"+name, p.BandwidthGBps, p.OpLatency),
-		views: make([]view, w.Size()),
+		w:       w,
+		data:    mem.NewSpace("file:"+name, mem.Host, size).Alloc(size, 1),
+		size:    size,
+		link:    link,
+		views:   make([]view, w.Size()),
+		barrier: barrier,
 	}
 }
 
@@ -123,7 +147,7 @@ func (f *File) transfer(m *mpi.Rank, buf mem.Buffer, dt *datatype.Datatype, coun
 		fc.Pack(window.Bytes(), fileBuf.Bytes())
 		f.unpackLocal(m, buf, dt, count, window)
 	}
-	m.Barrier() // collective completion
+	f.barrier(m) // collective completion (job-scoped when Params.Barrier is set)
 }
 
 // packLocal moves (buf, dt, count) into the host window: GPU data goes

@@ -92,3 +92,43 @@ func ParticleIndices(indices []int, recordElems int) *datatype.Datatype {
 
 // MatrixBytes returns the byte size of a full n x n float64 matrix.
 func MatrixBytes(n int) int64 { return int64(n) * int64(n) * ElemSize }
+
+// HaloFace returns the subarray datatype selecting the width-1 plane at
+// index idx along dim of a padded C-order float64 array (interior cells
+// plus a one-cell halo shell per dimension). The plane spans the *full*
+// padded extent of every dimension before dim and only the interior of
+// every dimension after it: a dimension-ordered halo exchange (sweep
+// dim 0, then 1, ...) that uses these faces propagates already-received
+// halo cells onward, so edge and corner neighbours arrive without
+// diagonal messages — the standard trick stencil codes build from
+// MPI_Type_create_subarray.
+func HaloFace(padded []int, dim, idx int) *datatype.Datatype {
+	sub := make([]int, len(padded))
+	starts := make([]int, len(padded))
+	for d := range padded {
+		switch {
+		case d == dim:
+			sub[d], starts[d] = 1, idx
+		case d < dim:
+			sub[d], starts[d] = padded[d], 0
+		default:
+			sub[d], starts[d] = padded[d]-2, 1
+		}
+	}
+	return datatype.Subarray(padded, sub, starts, datatype.OrderC, datatype.Float64)
+}
+
+// HaloFaceCells returns the number of cells a HaloFace plane carries.
+func HaloFaceCells(padded []int, dim int) int {
+	cells := 1
+	for d := range padded {
+		switch {
+		case d == dim:
+		case d < dim:
+			cells *= padded[d]
+		default:
+			cells *= padded[d] - 2
+		}
+	}
+	return cells
+}

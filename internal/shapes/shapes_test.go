@@ -1,6 +1,7 @@
 package shapes
 
 import (
+	"bytes"
 	"testing"
 
 	"gpuddt/internal/datatype"
@@ -112,5 +113,52 @@ func TestParticleIndices(t *testing.T) {
 	m := ParticleIndices([]int{2, 3}, 4)
 	if m.NumBlocks() != 1 {
 		t.Fatalf("adjacent records not merged: %v", m.Flat())
+	}
+}
+
+// TestHaloFaceSelectsPlane packs a padded 3D array through HaloFace
+// types and checks each face selects exactly the expected cells: full
+// padded extent before the face dimension, interior after it.
+func TestHaloFaceSelectsPlane(t *testing.T) {
+	padded := []int{4, 5, 6}
+	src := make([]byte, 4*5*6*8)
+	for i := range src {
+		src[i] = byte(i % 251)
+	}
+	at := func(i, j, k int) int { return ((i*5+j)*6 + k) * 8 }
+	for dim := 0; dim < 3; dim++ {
+		for _, idx := range []int{0, 1, padded[dim] - 2, padded[dim] - 1} {
+			dt := HaloFace(padded, dim, idx)
+			cells := HaloFaceCells(padded, dim)
+			if dt.Size() != int64(cells)*8 {
+				t.Fatalf("dim %d: size %d, want %d cells", dim, dt.Size(), cells)
+			}
+			var want []byte
+			rng := func(d int) (int, int) {
+				switch {
+				case d == dim:
+					return idx, idx + 1
+				case d < dim:
+					return 0, padded[d]
+				default:
+					return 1, padded[d] - 1
+				}
+			}
+			i0, i1 := rng(0)
+			j0, j1 := rng(1)
+			k0, k1 := rng(2)
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					for k := k0; k < k1; k++ {
+						want = append(want, src[at(i, j, k):at(i, j, k)+8]...)
+					}
+				}
+			}
+			got := make([]byte, dt.Size())
+			datatype.NewConverter(dt, 1).Pack(got, src)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("dim %d idx %d: packed face differs", dim, idx)
+			}
+		}
 	}
 }

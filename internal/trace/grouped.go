@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"gpuddt/internal/sim"
+)
+
+// WriteChromeGrouped exports one recorder with its tracks partitioned
+// into named process groups: groupOf maps a track name to its group
+// label (e.g. a co-scheduled job's name for that rank's tracks, or
+// "fabric" for links and switches), and every distinct label becomes
+// its own Chrome process — so a two-job interference run renders as two
+// labeled job groups side by side instead of one flat pile of rank
+// tracks. Pids are assigned in first-appearance order over the
+// recorder's deterministic track order; counters land on the first
+// group's pid. An empty label ("") is exported as "other".
+func WriteChromeGrouped(w io.Writer, rec *sim.Recorder, groupOf func(track string) string) error {
+	var evs []chromeEvent
+	pids := map[string]int{}
+	for _, t := range rec.Tracks() {
+		label := groupOf(t.Name)
+		if label == "" {
+			label = "other"
+		}
+		pid, ok := pids[label]
+		if !ok {
+			pid = len(pids)
+			pids[label] = pid
+			evs = append(evs, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]interface{}{"name": label},
+			})
+		}
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: t.ID,
+			Args: map[string]interface{}{"name": t.Name},
+		})
+		for i := range t.Spans {
+			sp := &t.Spans[i]
+			var args map[string]interface{}
+			if sp.Bytes > 0 || sp.Detail != "" {
+				args = make(map[string]interface{}, 2)
+				if sp.Bytes > 0 {
+					args["bytes"] = sp.Bytes
+				}
+				if sp.Detail != "" {
+					args["detail"] = sp.Detail
+				}
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Ph: "X", Pid: pid, Tid: t.ID,
+				Ts: sp.Begin.Micros(), Dur: sp.Duration().Micros(),
+				Args: args,
+			})
+		}
+	}
+	for _, name := range rec.CounterNames() {
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "C", Pid: 0,
+			Ts:   rec.Now().Micros(),
+			Args: map[string]interface{}{"value": rec.Counter(name)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}

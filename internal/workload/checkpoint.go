@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mpi"
+	"gpuddt/internal/mpiio"
+)
+
+// Checkpoint is the defensive-I/O family: every iteration runs the
+// application kernel and a ring exchange with both neighbours (the
+// ongoing compute traffic), and every Interval iterations the whole job
+// writes its GPU state collectively through internal/mpiio into one
+// striped checkpoint file. The file's stripes interleave all ranks in
+// chunk-sized blocks (a Vector filetype view), the collective epoch
+// closes with a *group* barrier, and all jobs of a run share one
+// storage link — so two co-scheduled jobs' checkpoint bursts contend
+// for aggregate file-system bandwidth exactly when they collide.
+type Checkpoint struct {
+	StateKB  int // per-rank device state (default 256)
+	ChunkKB  int // stripe chunk (default 4)
+	Iters    int // iterations (default 4)
+	Interval int // checkpoint every Interval iterations (default 2)
+	HaloKB   int // per-iteration ring message (default 32)
+}
+
+func (c Checkpoint) Name() string { return "checkpoint" }
+
+func (c Checkpoint) withDefaults() Checkpoint {
+	if c.StateKB == 0 {
+		c.StateKB = 256
+	}
+	if c.ChunkKB == 0 {
+		c.ChunkKB = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 4
+	}
+	if c.Interval == 0 {
+		c.Interval = 2
+	}
+	if c.HaloKB == 0 {
+		c.HaloKB = 32
+	}
+	return c
+}
+
+// Instance opens the job's striped checkpoint file on the run's shared
+// storage link.
+func (c Checkpoint) Instance(rc RunContext) (Instance, error) {
+	c = c.withDefaults()
+	if c.StateKB%c.ChunkKB != 0 {
+		return nil, fmt.Errorf("checkpoint: state %d KB not divisible by chunk %d KB", c.StateKB, c.ChunkKB)
+	}
+	g := rc.Group
+	f := mpiio.Open(rc.World, rc.Job+".ckpt", int64(g.Size())*int64(c.StateKB)*1024, mpiio.Params{
+		Link:    rc.FS,
+		Barrier: func(m *mpi.Rank) { g.Barrier(m) },
+	})
+	return &ckptInstance{cfg: c, rc: rc, file: f}, nil
+}
+
+type ckptInstance struct {
+	cfg  Checkpoint
+	rc   RunContext
+	file *mpiio.File
+}
+
+// stateWord is word w of member lr's state as of checkpoint step it.
+func (in *ckptInstance) stateWord(lr, it, w int) uint64 {
+	return mix(in.rc.Seed, uint64(lr), uint64(it), uint64(w))
+}
+
+func (in *ckptInstance) Run(m *mpi.Rank) ([]byte, error) {
+	g := in.rc.Group
+	lr := g.LocalRank(m)
+	size := g.Size()
+	stateB := int64(in.cfg.StateKB) * 1024
+	chunkB := int64(in.cfg.ChunkKB) * 1024
+	haloB := int64(in.cfg.HaloKB) * 1024
+
+	state := m.Malloc(stateB)
+	ringOut := m.Malloc(haloB)
+	ringIn := m.Malloc(haloB)
+	dev := m.Engine().Device()
+
+	// My view: chunk lr, then every size-th chunk (MPI_File_set_view
+	// with a strided Vector filetype).
+	chunks := int(stateB / chunkB)
+	ft := datatype.Vector(chunks, int(chunkB), size*int(chunkB), datatype.Byte)
+	in.file.SetView(m, int64(lr)*chunkB, ft)
+
+	stateDT := datatype.Contiguous(int(stateB), datatype.Byte)
+	lastCkpt := -1
+	for it := 0; it < in.cfg.Iters; it++ {
+		// Application step: kernel plus ring halo with both neighbours.
+		dev.Compute(m.Engine().Stream(), stateB*2, 0).Await(m.Proc())
+		raw := ringOut.Bytes()
+		for w := int64(0); w+8 <= haloB; w += 8 {
+			putWord(raw, int(w), mix(in.rc.Seed, uint64(lr), uint64(it), 0x4a1^uint64(w)))
+		}
+		right := (lr + 1) % size
+		left := (lr - 1 + size) % size
+		g.SendRecvLocal(m, ringOut, datatype.Byte, int(haloB), right, ringIn, datatype.Byte, int(haloB), left)
+		rr := ringIn.Bytes()
+		for w := int64(0); w+8 <= haloB; w += 8 {
+			if got, want := getWord(rr, int(w)), mix(in.rc.Seed, uint64(left), uint64(it), 0x4a1^uint64(w)); got != want {
+				return nil, fmt.Errorf("checkpoint: ring step %d word %d = %x, want %x", it, w/8, got, want)
+			}
+		}
+
+		if (it+1)%in.cfg.Interval == 0 || it == in.cfg.Iters-1 {
+			sraw := state.Bytes()
+			for w := int64(0); w+8 <= stateB; w += 8 {
+				putWord(sraw, int(w), in.stateWord(lr, it, int(w/8)))
+			}
+			in.file.WriteAll(m, state, stateDT, 1)
+			lastCkpt = it
+		}
+	}
+	g.Barrier(m)
+
+	// My stripes of the shared file must hold my state as of the last
+	// checkpoint.
+	img := make([]byte, stateB)
+	fileBytes := in.file.Bytes()
+	for c := 0; c < chunks; c++ {
+		off := int64(c)*int64(size)*chunkB + int64(lr)*chunkB
+		copy(img[int64(c)*chunkB:], fileBytes[off:off+chunkB])
+	}
+	want := make([]byte, stateB)
+	for w := int64(0); w+8 <= stateB; w += 8 {
+		putWord(want, int(w), in.stateWord(lr, lastCkpt, int(w/8)))
+	}
+	if !bytes.Equal(img, want) {
+		return nil, fmt.Errorf("checkpoint: rank %d stripes differ from state at step %d", lr, lastCkpt)
+	}
+	return img, nil
+}
+
+var _ Workload = Checkpoint{}

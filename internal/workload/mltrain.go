@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mpi"
+)
+
+// MLTrain is the data-parallel training family: per step, a backward
+// pass (modelled compute) produces per-layer gradients whose sizes
+// follow a log-normal distribution; gradients are greedily fused into
+// buckets and allreduced over the job group (ring or tree), exactly the
+// fusion-buffer batching of DDP/Horovod. An optional MoE phase routes
+// tokens to expert ranks through a sparse Alltoallv with a skewed,
+// seeded count matrix (hot experts, silent ranks).
+type MLTrain struct {
+	Layers   int     // gradient tensors per step (default 24)
+	MeanKB   float64 // log-normal location of layer sizes (default 96 KB)
+	Sigma    float64 // log-normal shape (default 1.2)
+	FusionKB int     // fusion-buffer cap (default 256 KB)
+	Iters    int     // training steps (default 2)
+	Alg      mpi.AllreduceAlg
+
+	// MoETokens is the mean token count each rank routes per step; 0
+	// disables the MoE phase. Hidden is the token record size in
+	// float64s (default 64).
+	MoETokens int
+	Hidden    int
+}
+
+func (t MLTrain) withDefaults() MLTrain {
+	if t.Layers == 0 {
+		t.Layers = 24
+	}
+	if t.MeanKB == 0 {
+		t.MeanKB = 96
+	}
+	if t.Sigma == 0 {
+		t.Sigma = 1.2
+	}
+	if t.FusionKB == 0 {
+		t.FusionKB = 256
+	}
+	if t.Iters == 0 {
+		t.Iters = 2
+	}
+	if t.Hidden == 0 {
+		t.Hidden = 64
+	}
+	return t
+}
+
+// Name is "ml-ring" or "ml-tree" after the allreduce schedule.
+func (t MLTrain) Name() string { return "ml-" + t.Alg.String() }
+
+// GradSizes returns the seeded per-layer gradient sizes in float64
+// elements: exp-of-normal around meanKB with shape sigma, clamped to
+// [32, 1M] elements — a handful of huge embedding-like tensors over a
+// long tail of small ones.
+func GradSizes(seed uint64, layers int, meanKB, sigma float64) []int {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	sizes := make([]int, layers)
+	for l := range sizes {
+		kb := math.Exp(rng.NormFloat64()*sigma + math.Log(meanKB))
+		elems := int(kb * 1024 / 8)
+		if elems < 32 {
+			elems = 32
+		}
+		if elems > 1<<20 {
+			elems = 1 << 20
+		}
+		sizes[l] = elems
+	}
+	return sizes
+}
+
+// FuseBuckets greedily packs layer sizes into fusion buckets of at most
+// capElems elements (a layer larger than the cap gets its own bucket),
+// returning the bucket sizes in element counts.
+func FuseBuckets(sizes []int, capElems int) []int {
+	var buckets []int
+	cur := 0
+	for _, s := range sizes {
+		if cur > 0 && cur+s > capElems {
+			buckets = append(buckets, cur)
+			cur = 0
+		}
+		cur += s
+	}
+	if cur > 0 {
+		buckets = append(buckets, cur)
+	}
+	return buckets
+}
+
+// MoECounts builds the expert-routing count matrix for one step:
+// counts[i][j] tokens flow from rank i to expert rank j. The
+// distribution is deliberately skewed — one hot expert absorbs about
+// half of all traffic, and roughly one rank in eight routes nothing
+// this step (zero-expert rows) — the shapes that break naive uniform
+// alltoall tuning. Exported so the conformance fuzzer can replay these
+// matrices through the v-variant oracle.
+func MoECounts(seed uint64, size, meanTokens, step int) [][]int {
+	rng := rand.New(rand.NewSource(int64(mix(seed, uint64(step), 0x40e)))) //nolint:gosec
+	counts := make([][]int, size)
+	for i := range counts {
+		counts[i] = make([]int, size)
+	}
+	if size == 0 || meanTokens <= 0 {
+		return counts
+	}
+	hot := rng.Intn(size)
+	for i := 0; i < size; i++ {
+		if rng.Intn(8) == 0 {
+			continue // silent rank this step
+		}
+		tokens := meanTokens/2 + rng.Intn(meanTokens+1)
+		for t := 0; t < tokens; t++ {
+			if rng.Intn(2) == 0 {
+				counts[i][hot]++
+			} else {
+				counts[i][rng.Intn(size)]++
+			}
+		}
+	}
+	return counts
+}
+
+// gradWord is the integer-valued contribution of group member lr to
+// element k of bucket b in step it: integer floats keep the sum exact
+// under any association order, so ring, tree and hierarchical schedules
+// must agree bit-for-bit.
+func gradWord(lr, it, b, k int) float64 {
+	return float64((k+13*b+7*it)%23+1) * float64(lr+1)
+}
+
+// tokenWord is element e of the t-th token sent from member s to expert
+// d in step it.
+func tokenWord(seed uint64, s, d, it, t, e int) uint64 {
+	return mix(seed, uint64(s), uint64(d), uint64(it), uint64(t), uint64(e))
+}
+
+// Instance allocates the fusion buffers and binds the generators.
+func (t MLTrain) Instance(rc RunContext) (Instance, error) {
+	t = t.withDefaults()
+	sizes := GradSizes(rc.Seed, t.Layers, t.MeanKB, t.Sigma)
+	buckets := FuseBuckets(sizes, t.FusionKB*1024/8)
+	return &mlInstance{cfg: t, rc: rc, buckets: buckets}, nil
+}
+
+type mlInstance struct {
+	cfg     MLTrain
+	rc      RunContext
+	buckets []int
+}
+
+func (in *mlInstance) Run(m *mpi.Rank) ([]byte, error) {
+	g := in.rc.Group
+	lr := g.LocalRank(m)
+	size := g.Size()
+	sum := size * (size + 1) / 2 // sum of (member+1) over the group
+
+	maxB := 0
+	total := 0
+	for _, b := range in.buckets {
+		total += b
+		if b > maxB {
+			maxB = b
+		}
+	}
+	send := m.Malloc(int64(maxB) * 8)
+	recv := m.Malloc(int64(maxB) * 8)
+	dev := m.Engine().Device()
+	h := sha256.New()
+
+	for it := 0; it < in.cfg.Iters; it++ {
+		// Backward pass: a memory-bound kernel over the full gradient
+		// set before its buckets become ready.
+		dev.Compute(m.Engine().Stream(), int64(total)*8*2, 0).Await(m.Proc())
+
+		for b, elems := range in.buckets {
+			raw := send.Bytes()
+			for k := 0; k < elems; k++ {
+				putWord(raw, 8*k, math.Float64bits(gradWord(lr, it, b, k)))
+			}
+			g.Allreduce(m, send, recv, datatype.Float64, elems, mpi.OpSum, in.cfg.Alg)
+			rraw := recv.Bytes()
+			for k := 0; k < elems; k++ {
+				want := float64((k+13*b+7*it)%23+1) * float64(sum)
+				if got := math.Float64frombits(getWord(rraw, 8*k)); got != want {
+					return nil, fmt.Errorf("ml: step %d bucket %d elem %d = %v, want %v", it, b, k, got, want)
+				}
+			}
+			h.Write(rraw[:elems*8])
+		}
+
+		if in.cfg.MoETokens > 0 {
+			if err := in.moeStep(m, it, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h.Sum(nil), nil
+}
+
+// moeStep routes this step's tokens through the group Alltoallv and
+// verifies every received token against the sender's generator.
+func (in *mlInstance) moeStep(m *mpi.Rank, it int, h interface{ Write(p []byte) (int, error) }) error {
+	g := in.rc.Group
+	lr := g.LocalRank(m)
+	size := g.Size()
+	hid := in.cfg.Hidden
+	counts := MoECounts(in.rc.Seed, size, in.cfg.MoETokens, it)
+
+	scounts := make([]int, size) // in tokens
+	rcounts := make([]int, size)
+	sdispls := make([]int, size)
+	rdispls := make([]int, size)
+	stot, rtot := 0, 0
+	for j := 0; j < size; j++ {
+		scounts[j] = counts[lr][j]
+		rcounts[j] = counts[j][lr]
+		sdispls[j] = stot
+		rdispls[j] = rtot
+		stot += scounts[j]
+		rtot += rcounts[j]
+	}
+
+	token := datatype.Contiguous(hid, datatype.Float64)
+	send := m.Malloc(int64(stot)*token.Size() + 8)
+	recv := m.Malloc(int64(rtot)*token.Size() + 8)
+	raw := send.Bytes()
+	for j := 0; j < size; j++ {
+		for t := 0; t < scounts[j]; t++ {
+			base := (sdispls[j] + t) * hid * 8
+			for e := 0; e < hid; e++ {
+				putWord(raw, base+8*e, tokenWord(in.rc.Seed, lr, j, it, t, e))
+			}
+		}
+	}
+	g.Alltoallv(m, send, scounts, sdispls, token, recv, rcounts, rdispls, token)
+	rraw := recv.Bytes()
+	for j := 0; j < size; j++ {
+		for t := 0; t < rcounts[j]; t++ {
+			base := (rdispls[j] + t) * hid * 8
+			for e := 0; e < hid; e++ {
+				if got, want := getWord(rraw, base+8*e), tokenWord(in.rc.Seed, j, lr, it, t, e); got != want {
+					return fmt.Errorf("moe: step %d from %d token %d word %d = %x, want %x", it, j, t, e, got, want)
+				}
+			}
+		}
+	}
+	h.Write(rraw[:rtot*hid*8])
+	return nil
+}
+
+var _ Workload = MLTrain{}
