@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race check trace-check chaos-check scale-check megascale-check vcoll-check app-check fuzz golden bench bench-smoke figures examples tools clean
+.PHONY: all test race check trace-check chaos-check scale-check megascale-check vcoll-check app-check tune-check fuzz golden bench bench-smoke figures examples tools clean
 
 all: test
 
@@ -108,6 +108,23 @@ app-check:
 	$(GO) run ./cmd/appbench -quick -out /tmp/apps-a.json
 	$(GO) run ./cmd/appbench -quick -out /tmp/apps-b.json
 	cmp /tmp/apps-a.json /tmp/apps-b.json
+
+# Auto-tuning gate: the Tuning API resolution tests (pointer-or-
+# sentinel eager semantics, legacy ProtoOptions equivalence), the
+# in-network reduction oracle (switch vs flat bit-identity under
+# -race), the tuner determinism + table round-trip + version/corruption
+# rejection suite, the pinned >= 1.2x tuned-vs-default speedup on an
+# oversubscribed fat-tree point, the in-network curve digest gate, and
+# a tunebench smoke run twice — the two JSON reports must be
+# byte-identical (the search is an exhaustive grid over virtual time).
+tune-check:
+	$(GO) test ./internal/mpi -run 'TestTuning|TestEagerZeroSentinel|TestCollModeRoundTrip'
+	$(GO) test -race ./internal/mpi -run 'TestSwitch'
+	$(GO) test ./internal/tune
+	$(GO) test ./internal/bench -run 'TestScale|TestQuickAppSweep'
+	$(GO) run ./cmd/tunebench -quick -out /tmp/tune-a.json
+	$(GO) run ./cmd/tunebench -quick -out /tmp/tune-b.json
+	cmp /tmp/tune-a.json /tmp/tune-b.json
 
 # Longer fuzzing session against the differential oracle.
 fuzz:

@@ -15,6 +15,7 @@ import (
 
 	"gpuddt/internal/baseline"
 	"gpuddt/internal/bench"
+	"gpuddt/internal/mpi"
 	"gpuddt/internal/shapes"
 	"gpuddt/internal/sim"
 )
@@ -171,7 +172,7 @@ func BenchmarkMVAPICHGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ours := bench.PingPong(bench.PingPongSpec{Topo: bench.TwoGPU, Dt0: dt, Count: 1})
 		mv := bench.PingPong(bench.PingPongSpec{
-			Topo: bench.TwoGPU, Dt0: dt, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+			Topo: bench.TwoGPU, Dt0: dt, Count: 1, Tuning: &mpi.Tuning{Strategy: &baseline.MVAPICHStrategy{}},
 		})
 		gap = float64(mv) / float64(ours)
 	}

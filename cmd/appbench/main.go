@@ -19,6 +19,7 @@
 //	appbench                    # JSON to stdout (full sweep)
 //	appbench -out BENCH_apps.json
 //	appbench -quick             # CI smoke sweep
+//	appbench -tuning TUNING.json  # tuned arm per point from a tuning table
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 	"gpuddt/internal/bench"
 	"gpuddt/internal/bench/cli"
+	"gpuddt/internal/tune"
 	"gpuddt/internal/workload"
 )
 
@@ -52,6 +54,7 @@ func Run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	outPath := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	quick := fs.Bool("quick", false, "small sweep for a fast smoke run")
+	tuning := fs.String("tuning", "", "tuning table (TUNING.json) adding a tuned arm per app point")
 	prof := cli.Profiles(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +68,14 @@ func Run(args []string, out, errOut io.Writer) int {
 	sw := bench.DefaultAppSweep()
 	if *quick {
 		sw = bench.QuickAppSweep()
+	}
+	if *tuning != "" {
+		tbl, err := tune.Load(*tuning)
+		if err != nil {
+			fmt.Fprintf(errOut, "appbench: %v\n", err)
+			return 1
+		}
+		sw.Tune = tbl.TuneFunc()
 	}
 	pts, err := bench.RunApps(sw)
 	if err != nil {

@@ -81,8 +81,8 @@ func measure(topo string, dt *datatype.Datatype, count int, seed uint64, rate fl
 	if rate > 0 {
 		plan = fault.NewPlan(seed, rate)
 	}
-	cfg := cluster.ByName(topo).Config()
-	cfg.Proto = mpi.ProtoOptions{EagerLimit: 1, FragBytes: frag}
+	spec := cluster.ByName(topo).Tuned(&mpi.Tuning{Eager: mpi.Eager(1), FragBytes: frag})
+	cfg := spec.Config()
 	cfg.Faults = plan
 	w := mpi.NewWorld(cfg)
 	rec := sim.NewRecorder(w.Engine())

@@ -92,14 +92,14 @@ func Run(args []string, out, errOut io.Writer) int {
 	}
 
 	spec := bench.PingPongSpec{
-		Topo:     topo,
-		Dt0:      dt0,
-		Dt1:      dt1,
-		Count:    1,
-		OnHost:   *host,
-		Iters:    *iters,
-		Strategy: strategy,
-		Proto: mpi.ProtoOptions{
+		Topo:   topo,
+		Dt0:    dt0,
+		Dt1:    dt1,
+		Count:  1,
+		OnHost: *host,
+		Iters:  *iters,
+		Tuning: &mpi.Tuning{
+			Strategy:           strategy,
 			FragBytes:          *frag,
 			PipelineDepth:      *depth,
 			DirectRemoteUnpack: *direct,

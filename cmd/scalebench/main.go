@@ -20,6 +20,7 @@
 //	scalebench -quick            # CI smoke sweep
 //	scalebench -shards 4         # sharded-engine partitions for modelled points
 //	scalebench -sample 128       # verified ranks per modelled point
+//	scalebench -tuning TUNING.json  # tuned third arm from a tuning table
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 	"gpuddt/internal/bench"
 	"gpuddt/internal/bench/cli"
+	"gpuddt/internal/tune"
 )
 
 // Report is the BENCH_scale.json schema. The header mirrors
@@ -55,6 +57,7 @@ func Run(args []string, out, errOut io.Writer) int {
 	quick := fs.Bool("quick", false, "small sweep for a fast smoke run")
 	shards := fs.Int("shards", 0, "sharded-engine partitions for modelled points (0: sweep default)")
 	sample := fs.Int("sample", 0, "content-verified ranks per modelled point (0: sweep default)")
+	tuning := fs.String("tuning", "", "tuning table (TUNING.json) adding a tuned arm per real-payload point")
 	prof := cli.Profiles(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +79,14 @@ func Run(args []string, out, errOut io.Writer) int {
 	}
 	if *sample > 0 {
 		msw.SampleRanks = *sample
+	}
+	if *tuning != "" {
+		tbl, err := tune.Load(*tuning)
+		if err != nil {
+			fmt.Fprintf(errOut, "scalebench: %v\n", err)
+			return 1
+		}
+		sw.Tune = tbl.TuneFunc()
 	}
 	pts, err := bench.RunScale(sw)
 	if err != nil {

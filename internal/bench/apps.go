@@ -22,11 +22,11 @@ import (
 // rank exchanges one contiguous row boundary and one non-contiguous
 // column boundary (vector type), like SHOC's 2D stencil.
 func AppHalo(n, iters int, strategy mpi.Strategy) sim.Time {
-	cfg := cluster.TwoGPU().Config()
+	// Force the DDT protocols even for one column.
+	tun := &mpi.Tuning{Eager: mpi.Eager(1), Strategy: strategy}
+	cfg := cluster.TwoGPU().Tuned(tun).Config()
 	cfg.GPU = bigGPU()
 	cfg.PCIe = bigPCIe()
-	cfg.Strategy = strategy
-	cfg.Proto = mpi.ProtoOptions{EagerLimit: 1} // force the DDT protocols even for one column
 	w := mpi.NewWorld(cfg)
 	attachTrace(w.Engine(), "app:halo")
 	defer w.Close()

@@ -26,6 +26,12 @@ type AppPoint struct {
 	ElapsedUs     float64 `json:"elapsed_us"`
 	Digest        string  `json:"digest"`
 	SubarraySpans int     `json:"subarray_spans,omitempty"`
+
+	// TunedUs and TunedSpeedup (default/tuned) are set when the sweep
+	// carries a tuning table holding an "app:<family>" entry for this
+	// point's topology class; the tuned run's payload digest must match.
+	TunedUs      float64 `json:"tuned_us,omitempty"`
+	TunedSpeedup float64 `json:"tuned_speedup,omitempty"`
 }
 
 // AppSweep configures the application sweep.
@@ -48,6 +54,12 @@ type AppSweep struct {
 	StudyHaloBox     int
 	StudyHaloIters   int
 	Policies         []cluster.Policy
+
+	// Tune, if non-nil, adds a tuned arm per single-job point: the
+	// tuning-table lookup for (spec, 0, "app:<family>") replayed on the
+	// same job, digest-verified against the default run. A table miss
+	// leaves the point's tuned fields zero.
+	Tune cluster.TuneFunc
 }
 
 // DefaultAppSweep is the committed-report shape: four rank counts (the
@@ -110,12 +122,12 @@ func appGrid(ranks, nd int) ([]int, error) {
 	return dims, nil
 }
 
-// appWorkload builds the named family sized for a job of `ranks` ranks.
+// AppWorkload builds the named family sized for a job of `ranks` ranks.
 // The ML config is deliberately mid-sized (a dozen log-normal layers,
 // 128 KB fusion buffers, a sparse MoE phase) so the sweep finishes in
 // CI time while still exercising bucketed allreduce and skewed
 // alltoallv.
-func appWorkload(family string, ranks int) (workload.Workload, error) {
+func AppWorkload(family string, ranks int) (workload.Workload, error) {
 	ml := workload.MLTrain{Layers: 12, MeanKB: 32, Sigma: 1.2, FusionKB: 128, Iters: 2, MoETokens: 16, Hidden: 32}
 	switch family {
 	case "ml-ring":
@@ -154,18 +166,18 @@ func RunApps(sw AppSweep) ([]AppPoint, error) {
 		nodes := ranks / sw.RanksPerNode
 		for _, ov := range sw.Oversubs {
 			for _, fam := range appFamilies {
-				w, err := appWorkload(fam, ranks)
+				w, err := AppWorkload(fam, ranks)
 				if err != nil {
 					return nil, err
 				}
-				cfg := cluster.Scale(nodes, sw.RanksPerNode, sw.RanksPerNode, ov).Config()
+				spec := cluster.Scale(nodes, sw.RanksPerNode, sw.RanksPerNode, ov)
 				all := make([]int, ranks)
 				for i := range all {
 					all[i] = i
 				}
 				jobs := []workload.JobSpec{{Name: fam, W: w, Seed: sw.Seed, Ranks: all}}
 				traced := strings.HasPrefix(fam, "stencil")
-				res, rec, err := workload.Run(cfg, jobs, nil, workload.Options{Trace: traced})
+				res, rec, err := workload.Run(spec.Config(), jobs, nil, workload.Options{Trace: traced})
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s/%d ranks/oversub %d: %w", fam, ranks, ov, err)
 				}
@@ -180,6 +192,21 @@ func RunApps(sw AppSweep) ([]AppPoint, error) {
 						return nil, fmt.Errorf("bench: %s/%d ranks: no subarray halo spans recorded", fam, ranks)
 					}
 				}
+				if sw.Tune != nil {
+					if tun := sw.Tune(spec, 0, "app:"+fam); tun != nil {
+						tres, _, err := workload.Run(spec.Tuned(tun).Config(), jobs, nil, workload.Options{})
+						if err != nil {
+							return nil, fmt.Errorf("bench: %s/%d ranks/oversub %d tuned: %w", fam, ranks, ov, err)
+						}
+						if tres[0].Digest != pt.Digest {
+							return nil, fmt.Errorf("bench: %s/%d ranks/oversub %d: tuned payload digest differs", fam, ranks, ov)
+						}
+						pt.TunedUs = tres[0].ElapsedUs
+						if tres[0].ElapsedUs > 0 {
+							pt.TunedSpeedup = pt.ElapsedUs / tres[0].ElapsedUs
+						}
+					}
+				}
 				pts = append(pts, pt)
 			}
 		}
@@ -191,7 +218,7 @@ func RunApps(sw AppSweep) ([]AppPoint, error) {
 // training vs stencil halo) under every policy of the sweep.
 func RunAppStudies(sw AppSweep) ([]workload.StudyResult, error) {
 	rpj := sw.StudyRanksPerJob
-	ml, err := appWorkload("ml-ring", rpj)
+	ml, err := AppWorkload("ml-ring", rpj)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"gpuddt/internal/cluster"
 	"gpuddt/internal/model"
+	"gpuddt/internal/mpi"
 )
 
 // clusterScale mirrors runScaleColl's world shape for the modelled arm.
@@ -54,7 +55,11 @@ func TestModelRealEquivalence(t *testing.T) {
 	const nodes, rpn, ov = 16, 4, 2
 	for _, coll := range []string{"alltoall", "allgather"} {
 		for _, flat := range []bool{false, true} {
-			_, realSum, _, _ := runScaleColl(coll, nodes, rpn, ov, flat)
+			var tun *mpi.Tuning
+			if flat {
+				tun = &mpi.Tuning{Collectives: mpi.CollFlat}
+			}
+			_, realSum, _, _ := runScaleColl(coll, nodes, rpn, ov, tun)
 			res, err := model.Run(model.Options{
 				Spec:   clusterScale(nodes, rpn, ov),
 				Coll:   coll,
@@ -78,7 +83,7 @@ func TestModelRealEquivalence(t *testing.T) {
 // smaller than the real-payload world's per-rank backing memory.
 func TestFlyweightMemoryReduction(t *testing.T) {
 	const nodes, rpn, ov = 64, 4, 2
-	_, _, _, realFoot := runScaleColl("alltoall", nodes, rpn, ov, false)
+	_, _, _, realFoot := runScaleColl("alltoall", nodes, rpn, ov, nil)
 	res, err := model.Run(model.Options{
 		Spec:        clusterScale(nodes, rpn, ov),
 		Coll:        "alltoall",

@@ -56,9 +56,8 @@ type PingPongSpec struct {
 	OnHost   bool // data in host memory instead of GPU (the CPU config)
 	Iters    int
 	Warmup   int
-	Strategy mpi.Strategy // nil = the paper's pipelined protocols
+	Tuning   *mpi.Tuning // nil = the paper's pipelined protocols at defaults
 	Engine   core.Options
-	Proto    mpi.ProtoOptions
 	BlockCap int     // §5.3: restrict pack/unpack kernels to k blocks
 	BGBlocks int     // §5.4: background app CUDA blocks
 	BGDRAM   float64 // §5.4: background app DRAM fraction
@@ -95,12 +94,10 @@ func PingPong(sp PingPongSpec) sim.Time {
 	if sp.Warmup == 0 {
 		sp.Warmup = 1
 	}
-	cfg := sp.Topo.Spec().Config()
+	cfg := sp.Topo.Spec().Tuned(sp.Tuning).Config()
 	cfg.GPU = bigGPU()
 	cfg.PCIe = bigPCIe()
-	cfg.Strategy = sp.Strategy
 	cfg.Engine = sp.Engine
-	cfg.Proto = sp.Proto
 	w := mpi.NewWorld(cfg)
 	defer w.Close()
 	label := fmt.Sprintf("pingpong %s %s", sp.Topo, sp.Dt0.Name())
@@ -229,7 +226,7 @@ func Fig10(topo Topology, sizes []int) *Figure {
 		return [2]float64{
 			PingPong(PingPongSpec{Topo: topo, Dt0: dt, Count: 1}).Millis(),
 			PingPong(PingPongSpec{
-				Topo: topo, Dt0: dt, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+				Topo: topo, Dt0: dt, Count: 1, Tuning: &mpi.Tuning{Strategy: &baseline.MVAPICHStrategy{}},
 			}).Millis(),
 		}
 	})
@@ -263,7 +260,7 @@ func Fig11(sizes []int) *Figure {
 		return [2]float64{
 			PingPong(PingPongSpec{Topo: topo, Dt0: vec, Dt1: contig, Count: 1}).Millis(),
 			PingPong(PingPongSpec{
-				Topo: topo, Dt0: vec, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+				Topo: topo, Dt0: vec, Dt1: contig, Count: 1, Tuning: &mpi.Tuning{Strategy: &baseline.MVAPICHStrategy{}},
 			}).Millis(),
 		}
 	})
@@ -298,7 +295,7 @@ func Fig12(sizes []int) *Figure {
 		return [2]float64{
 			PingPong(PingPongSpec{Topo: topo, Dt0: tr, Dt1: contig, Count: 1}).Millis(),
 			PingPong(PingPongSpec{
-				Topo: topo, Dt0: tr, Dt1: contig, Count: 1, Strategy: &baseline.MVAPICHStrategy{},
+				Topo: topo, Dt0: tr, Dt1: contig, Count: 1, Tuning: &mpi.Tuning{Strategy: &baseline.MVAPICHStrategy{}},
 			}).Millis(),
 		}
 	})
@@ -403,7 +400,7 @@ func AblationPipeline(n int, fragSizes []int64) *Figure {
 	vals := pmap(len(fragSizes), func(i int) float64 {
 		return PingPong(PingPongSpec{
 			Topo: TwoGPU, Dt0: vMat(n), Count: 1,
-			Proto: mpi.ProtoOptions{FragBytes: fragSizes[i]},
+			Tuning: &mpi.Tuning{FragBytes: fragSizes[i]},
 		}).Millis()
 	})
 	for i, fb := range fragSizes {
@@ -429,7 +426,7 @@ func AblationRemoteUnpack(sizes []int) *Figure {
 			PingPong(PingPongSpec{Topo: TwoGPU, Dt0: dt, Count: 1}).Millis(),
 			PingPong(PingPongSpec{
 				Topo: TwoGPU, Dt0: dt, Count: 1,
-				Proto: mpi.ProtoOptions{DirectRemoteUnpack: true},
+				Tuning: &mpi.Tuning{DirectRemoteUnpack: true},
 			}).Millis(),
 		}
 	})

@@ -38,6 +38,12 @@ type ScaleSweep struct {
 	// footprint per rank. Off for CI smoke sweeps, whose output must
 	// be byte-identical run to run.
 	MeasureHost bool
+
+	// Tune, if non-nil, adds a third arm per point: the tuning-table
+	// lookup for (spec, message bytes, "coll:<name>") replayed on the
+	// same world, digest-verified against the default arm. A table miss
+	// leaves the point's tuned fields zero.
+	Tune cluster.TuneFunc
 }
 
 // DefaultScaleSweep is the committed BENCH_scale.json sweep: 2 to 256
@@ -74,6 +80,11 @@ type ScalePoint struct {
 	FlatUs       float64 `json:"flat_us"`
 	HierUs       float64 `json:"hier_us"`
 	Speedup      float64 `json:"speedup"`
+
+	// TunedUs and TunedSpeedup (default/tuned) are set when the sweep
+	// carries a tuning table and it holds an entry for this point.
+	TunedUs      float64 `json:"tuned_us,omitempty"`
+	TunedSpeedup float64 `json:"tuned_speedup,omitempty"`
 
 	// Mode is "" for real-payload worlds (full protocol stack, real
 	// buffers) and "modelled" for flyweight modelled-payload worlds
@@ -120,7 +131,7 @@ func RunScale(sw ScaleSweep) ([]ScalePoint, error) {
 			}
 			for _, ov := range sw.Oversubs {
 				start := time.Now()
-				pt, err := measureScaleOpt(coll, ranks/rpn, rpn, ov, sw.MeasureHost)
+				pt, err := measureScaleOpt(coll, ranks/rpn, rpn, ov, sw.MeasureHost, sw.Tune)
 				if err != nil {
 					return nil, err
 				}
@@ -142,12 +153,12 @@ func RunScale(sw ScaleSweep) ([]ScalePoint, error) {
 // history, and the plain measurement must stay a pure function of its
 // parameters.
 func measureScale(coll string, nodes, rpn, oversub int) (ScalePoint, error) {
-	return measureScaleOpt(coll, nodes, rpn, oversub, false)
+	return measureScaleOpt(coll, nodes, rpn, oversub, false, nil)
 }
 
-func measureScaleOpt(coll string, nodes, rpn, oversub int, withMem bool) (ScalePoint, error) {
-	hierT, hierSum, bytesPer, hierFoot := runScaleColl(coll, nodes, rpn, oversub, false)
-	flatT, flatSum, _, _ := runScaleColl(coll, nodes, rpn, oversub, true)
+func measureScaleOpt(coll string, nodes, rpn, oversub int, withMem bool, tune cluster.TuneFunc) (ScalePoint, error) {
+	hierT, hierSum, bytesPer, hierFoot := runScaleColl(coll, nodes, rpn, oversub, nil)
+	flatT, flatSum, _, _ := runScaleColl(coll, nodes, rpn, oversub, &mpi.Tuning{Collectives: mpi.CollFlat})
 	if !bytes.Equal(hierSum, flatSum) {
 		return ScalePoint{}, fmt.Errorf("scale: %s %dx%d oversub %d: hierarchical payload differs from flat",
 			coll, nodes, rpn, oversub)
@@ -166,6 +177,18 @@ func measureScaleOpt(coll string, nodes, rpn, oversub int, withMem bool) (ScaleP
 	if withMem {
 		pt.MemPerRank = hierFoot / int64(nodes*rpn)
 	}
+	if tune != nil {
+		spec := cluster.Scale(nodes, rpn, rpn, oversub)
+		if tun := tune(spec, bytesPer, "coll:"+coll); tun != nil {
+			tunedT, tunedSum, _, _ := runScaleColl(coll, nodes, rpn, oversub, tun)
+			if !bytes.Equal(tunedSum, hierSum) {
+				return ScalePoint{}, fmt.Errorf("scale: %s %dx%d oversub %d: tuned payload differs from default",
+					coll, nodes, rpn, oversub)
+			}
+			pt.TunedUs = tunedT.Micros()
+			pt.TunedSpeedup = float64(hierT) / float64(tunedT)
+		}
+	}
 	return pt, nil
 }
 
@@ -178,12 +201,12 @@ func scaleBlock() *datatype.Datatype { return shapes.SubMatrix(16, 8, 12) }
 // reduceElems is the Int64 vector length the reduce sweep combines.
 const reduceElems = 4096
 
-// runScaleColl runs one collective on a Scale world and returns its
-// completion time plus a digest of every rank's packed result.
-func runScaleColl(coll string, nodes, rpn, oversub int, flat bool) (sim.Time, []byte, int64, int64) {
+// runScaleColl runs one collective on a Scale world under the given
+// tuning (nil = defaults) and returns its completion time plus a digest
+// of every rank's packed result.
+func runScaleColl(coll string, nodes, rpn, oversub int, tun *mpi.Tuning) (sim.Time, []byte, int64, int64) {
 	spec := cluster.Scale(nodes, rpn, rpn, oversub)
-	cfg := spec.Config()
-	cfg.Proto.FlatCollectives = flat
+	cfg := spec.Tuned(tun).Config()
 	w := mpi.NewWorld(cfg)
 	defer w.Close()
 	size := spec.Size()

@@ -54,7 +54,21 @@ type Spec struct {
 	// (clamped to the fat-tree leaf count; 0 means 1, i.e. the serial
 	// reference engine). Ignored for real-payload worlds.
 	Shards int
+
+	// Tuning overrides the world's protocol knobs — eager threshold,
+	// pipeline geometry, collective algorithm family. Nil selects the
+	// defaults. Set it explicitly (Tuned) or from a persisted tuning
+	// table (internal/tune's Table.TuneFunc); it rides into the
+	// mpi.Config that Config builds.
+	Tuning *mpi.Tuning
 }
+
+// TuneFunc looks up the protocol tuning a world of shape s should run
+// with when moving messages of msgBytes packed bytes of the given
+// datatype class ("contig", "vector", "irregular", or an "app:" family
+// for whole-application objectives). Nil means "use the defaults" — a
+// miss in the tuning table, which is always safe.
+type TuneFunc func(s Spec, msgBytes int64, dtClass string) *mpi.Tuning
 
 // normalized fills the shape defaults (hardware defaults are filled by
 // mpi.NewWorld, as before).
@@ -91,9 +105,9 @@ func (s Spec) Placements() []mpi.Placement {
 	return pls
 }
 
-// Config builds the mpi.Config for the spec. Callers customize the
-// runtime knobs (Proto, Strategy, Engine, Faults) on the result before
-// handing it to mpi.NewWorld.
+// Config builds the mpi.Config for the spec, carrying the spec's
+// Tuning. Callers customize the remaining runtime knobs (Engine,
+// Faults) on the result before handing it to mpi.NewWorld.
 func (s Spec) Config() mpi.Config {
 	s = s.normalized()
 	return mpi.Config{
@@ -103,7 +117,31 @@ func (s Spec) Config() mpi.Config {
 		GPU:         s.GPU,
 		PCIe:        s.PCIe,
 		IB:          s.IB,
+		Tuning:      s.Tuning,
 	}
+}
+
+// Tuned returns a copy of the spec with the tuning override installed.
+func (s Spec) Tuned(t *mpi.Tuning) Spec {
+	s.Tuning = t
+	return s
+}
+
+// TopoClass buckets the spec's fabric for tuning-table keys: "smp" for
+// a single node, "flat" for the flat crossbar, "fatN" for a two-tier
+// fat tree at N:1 oversubscription. Coarse on purpose — TEMPI-style
+// canonical keys only pay off when distinct machines of the same class
+// share entries.
+func (s Spec) TopoClass() string {
+	s = s.normalized()
+	if s.Nodes == 1 {
+		return "smp"
+	}
+	t := s.IB.Topo
+	if !t.Hierarchical() {
+		return "flat"
+	}
+	return fmt.Sprintf("fat%d", int(t.Oversubscription()+0.5))
 }
 
 // String names the shape, e.g. "4x2 (fat-tree 8:4)".

@@ -113,21 +113,20 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 		return fmt.Errorf("seed %d: RoundTrip on overlapping layout", tr.Seed)
 	}
 
-	proto := mpi.ProtoOptions{
+	tun := &mpi.Tuning{
 		FragBytes:          cfg.FragBytes,
 		DirectRemoteUnpack: cfg.DirectRemoteUnpack,
 	}
 	if cfg.ForceEager {
-		proto.EagerLimit = total + 1
+		tun.Eager = mpi.Eager(total + 1)
 	} else {
-		proto.EagerLimit = 1
+		tun.Eager = mpi.Eager(1)
 		if total <= 1 {
 			return nil // cannot force rendezvous below the minimum limit
 		}
 	}
-	var strategy mpi.Strategy
 	if cfg.MVAPICH {
-		strategy = &baseline.MVAPICHStrategy{}
+		tun.Strategy = &baseline.MVAPICHStrategy{}
 	}
 	var plan *fault.Plan
 	if cfg.chaotic() {
@@ -137,9 +136,7 @@ func RoundTrip(tr *Tree, cfg RTConfig) error {
 		}
 	}
 
-	wcfg := cluster.ByName(cfg.Topo).Config()
-	wcfg.Proto = proto
-	wcfg.Strategy = strategy
+	wcfg := cluster.ByName(cfg.Topo).Tuned(tun).Config()
 	wcfg.Faults = plan
 	w := mpi.NewWorld(wcfg)
 	var rec *sim.Recorder

@@ -183,14 +183,15 @@ func (c VConfig) String() string {
 }
 
 func (c VConfig) world() *mpi.World {
-	cfg := cluster.Spec{Nodes: c.Nodes, GPUsPerNode: c.RPN, RanksPerNode: c.RPN}.Config()
-	cfg.Proto.FlatCollectives = c.Flat
+	tun := &mpi.Tuning{Eager: mpi.Eager(1)}
 	if c.Eager {
-		cfg.Proto.EagerLimit = 1 << 30
-	} else {
-		cfg.Proto.EagerLimit = 1
+		tun.Eager = mpi.Eager(1 << 30)
 	}
-	return mpi.NewWorld(cfg)
+	if c.Flat {
+		tun.Collectives = mpi.CollFlat
+	}
+	spec := cluster.Spec{Nodes: c.Nodes, GPUsPerNode: c.RPN, RanksPerNode: c.RPN}
+	return mpi.NewWorld(spec.Tuned(tun).Config())
 }
 
 // shiftMap returns the reference map of (spec, count) displaced by

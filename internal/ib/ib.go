@@ -68,6 +68,16 @@ type Topology struct {
 	// (leaf→spine and spine→leaf each charge one); 0 defaults to
 	// Latency/2.
 	HopLatency sim.Time
+
+	// ReduceGBps is the throughput of a switch's reduction ALU
+	// (SHARP-style in-network Reduce/Allreduce, see Fabric.SwitchReduce);
+	// 0 defaults to UplinkGBps — the ALU keeps up with one port, as on
+	// real SHARP-capable switches.
+	ReduceGBps float64
+
+	// ReduceLatency is the fixed per-switch cost of starting an
+	// in-network reduction stage; 0 defaults to HopLatency.
+	ReduceLatency sim.Time
 }
 
 // Hierarchical reports whether the fabric has a spine tier.
@@ -102,11 +112,12 @@ func DefaultParams() Params {
 
 // Fabric is a set of interconnected HCAs.
 type Fabric struct {
-	eng    *sim.Engine
-	params Params
-	hcas   []*HCA
-	leaves []*leafSwitch
-	faults *fault.Injector
+	eng      *sim.Engine
+	params   Params
+	hcas     []*HCA
+	leaves   []*leafSwitch
+	faults   *fault.Injector
+	sharpOps map[int]*sharpOp // in-flight in-network reductions by op id
 }
 
 // leafSwitch holds one leaf's shared uplink servers: up[s] carries
@@ -133,8 +144,14 @@ func NewFabric(eng *sim.Engine, p Params) *Fabric {
 		if p.Topo.HopLatency <= 0 {
 			p.Topo.HopLatency = p.Latency / 2
 		}
+		if p.Topo.ReduceGBps <= 0 {
+			p.Topo.ReduceGBps = p.Topo.UplinkGBps
+		}
+		if p.Topo.ReduceLatency <= 0 {
+			p.Topo.ReduceLatency = p.Topo.HopLatency
+		}
 	}
-	return &Fabric{eng: eng, params: p}
+	return &Fabric{eng: eng, params: p, sharpOps: make(map[int]*sharpOp)}
 }
 
 // Params returns the fabric calibration.

@@ -1,0 +1,157 @@
+package ib
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuddt/internal/sim"
+)
+
+// SHARP-style in-network reduction: the fat-tree switches combine
+// member contributions on their way up the tree (leaf ALUs fold the
+// contributions of their own ports, one partial per leaf crosses an
+// uplink, the spine folds the partials) and multicast the result back
+// down every member's downlink. Only the switch-ALU timing is modeled
+// per tier; the byte math itself runs once, in member-index order, so
+// the result is deterministic regardless of arrival order — exactly
+// how SHARP's fixed reduction trees behave, and the property the
+// digest gates rely on.
+//
+// Fault injection deliberately does not reach the switch ALUs: SHARP
+// offloads are flow-controlled in hardware, and the members' own
+// tx/rx/uplink traversals (which do share links with faulted traffic)
+// already carry the congestion. The op is keyed by a collective tag, so
+// independent reductions may be in flight concurrently.
+
+// sharpOp tracks one in-flight in-network reduction.
+type sharpOp struct {
+	members  []*HCA
+	contribs [][]byte
+	futs     []*sim.Future
+	got      int
+}
+
+// SwitchReduce contributes member idx's bytes to the in-network
+// reduction identified by opID and blocks until the reduced vector
+// returns down the tree. Every member (one call per HCA in members,
+// each from its own process, all with identical members/opID/length)
+// must call it. combine folds `in` into `acc` element-wise; it is
+// invoked in member-index order on the raw packed bytes, so the result
+// is independent of arrival order. The returned slice is shared by all
+// members and must be treated as read-only.
+func (f *Fabric) SwitchReduce(p *sim.Proc, opID int, members []*HCA, idx int, contrib []byte, combine func(acc, in []byte)) []byte {
+	if !f.params.Topo.Hierarchical() {
+		panic("ib: SwitchReduce requires a hierarchical fabric")
+	}
+	n := int64(len(contrib))
+	h := members[idx]
+
+	// Inject the contribution up this member's own port.
+	sp := p.BeginBytes("sharp.contrib", n)
+	p.Sleep(f.params.PerMsgOverhead)
+	h.tx.Transfer(p, n)
+	sp.End()
+	p.Count("ib.sharp.contrib", 1)
+
+	st := f.sharpOps[opID]
+	if st == nil {
+		st = &sharpOp{
+			members:  members,
+			contribs: make([][]byte, len(members)),
+			futs:     make([]*sim.Future, len(members)),
+		}
+		for i := range st.futs {
+			st.futs[i] = f.eng.NewFuture()
+		}
+		f.sharpOps[opID] = st
+	}
+	st.contribs[idx] = append([]byte(nil), contrib...)
+	st.got++
+	if st.got == len(members) {
+		// Events run in nondecreasing virtual time, so the last
+		// contributor holds the op's max arrival time: it drives the
+		// switch tiers on behalf of the tree.
+		delete(f.sharpOps, opID)
+		f.finishSwitchReduce(p, opID, n, combine, st)
+	}
+	return st.futs[idx].Await(p).([]byte)
+}
+
+// finishSwitchReduce models the switch tiers once all contributions are
+// in: leaf ALU fold, partials up the shared uplinks, spine ALU fold,
+// and the result multicast down each member's leaf downlink and port.
+func (f *Fabric) finishSwitchReduce(p *sim.Proc, opID int, n int64, combine func(acc, in []byte), st *sharpOp) {
+	t := f.params.Topo
+
+	// Group members by leaf; each leaf's ALU folds its ports' streams at
+	// line rate (per-port ALU lanes, as on SHARP-capable switches), so a
+	// leaf stage costs one vector's worth of ALU time plus the fixed
+	// stage latency regardless of fan-in.
+	perLeaf := make(map[int][]int)
+	for i, h := range st.members {
+		perLeaf[h.leaf] = append(perLeaf[h.leaf], i)
+	}
+	leaves := make([]int, 0, len(perLeaf))
+	for li := range perLeaf {
+		leaves = append(leaves, li)
+	}
+	sort.Ints(leaves)
+
+	sp := p.BeginBytes("sharp.leaf", n*int64(st.got))
+	p.Sleep(t.ReduceLatency + sim.TimeForBytes(n, t.ReduceGBps))
+	sp.End()
+
+	spine := opID % t.Spines
+	if spine < 0 {
+		spine += t.Spines
+	}
+	if len(leaves) > 1 {
+		// One partial per leaf crosses its shared uplink to the spine;
+		// these contend with whatever else the uplinks carry.
+		futs := make([]*sim.Future, len(leaves))
+		for i, li := range leaves {
+			li := li
+			fut := f.eng.NewFuture()
+			futs[i] = fut
+			f.eng.Spawn(fmt.Sprintf("sharp.up.leaf%d", li), func(pp *sim.Proc) {
+				f.leaves[li].up[spine].Transfer(pp, n)
+				fut.Complete(nil)
+			})
+		}
+		for _, fut := range futs {
+			fut.Await(p)
+		}
+		sp := p.BeginBytes("sharp.spine", n*int64(len(leaves)))
+		p.Sleep(t.ReduceLatency + sim.TimeForBytes(n, t.ReduceGBps))
+		sp.End()
+	}
+
+	// The byte math: deterministic member-index order.
+	acc := append([]byte(nil), st.contribs[0]...)
+	for i := 1; i < len(st.contribs); i++ {
+		combine(acc, st.contribs[i])
+	}
+	p.Count("ib.sharp.reduce", 1)
+
+	// Multicast the result down the tree: one copy crosses each leaf's
+	// shared downlink, then fans out over the members' own rx ports in
+	// parallel — multicast replication happens at the switch, so the
+	// downlink is charged once however many members hang off the leaf.
+	for _, li := range leaves {
+		li := li
+		idxs := perLeaf[li]
+		f.eng.Spawn(fmt.Sprintf("sharp.down.leaf%d", li), func(pp *sim.Proc) {
+			if len(leaves) > 1 {
+				f.leaves[li].down[spine].Transfer(pp, n)
+			}
+			for _, i := range idxs {
+				i := i
+				h := st.members[i]
+				f.eng.Spawn(fmt.Sprintf("sharp.down.ib%d", h.node.ID()), func(pr *sim.Proc) {
+					h.rx.Transfer(pr, n)
+					st.futs[i].Complete(acc)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package ib
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gpuddt/internal/gpu"
+	"gpuddt/internal/pcie"
+	"gpuddt/internal/sim"
+)
+
+// fatTreeHCAs builds n HCAs on a two-tier tree.
+func fatTreeHCAs(n, leafRadix, spines int) (*sim.Engine, *Fabric, []*HCA) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.Topo = FatTree(leafRadix, spines)
+	f := NewFabric(e, p)
+	hcas := make([]*HCA, n)
+	for i := range hcas {
+		hcas[i] = f.Attach(pcie.NewNode(e, i, 1, gpu.KeplerK40(), pcie.DefaultParams()))
+	}
+	return e, f, hcas
+}
+
+// sumBytes is a toy combine: per-byte wrap-around addition — enough to
+// prove combine ordering, since it is commutative and associative.
+func sumBytes(acc, in []byte) {
+	for i := range acc {
+		acc[i] += in[i]
+	}
+}
+
+// TestSwitchReduceDeterministicResult staggers member arrival times and
+// still requires the exact member-index-order combine result on every
+// member.
+func TestSwitchReduceDeterministicResult(t *testing.T) {
+	const n = 8
+	e, f, hcas := fatTreeHCAs(n, 4, 2)
+	contrib := func(i int) []byte {
+		b := make([]byte, 64)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		return b
+	}
+	want := contrib(0)
+	for i := 1; i < n; i++ {
+		sumBytes(want, contrib(i))
+	}
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("member%d", i), func(p *sim.Proc) {
+			// Reverse-staggered start: member 0 arrives last.
+			p.Sleep(sim.Time(n-i) * 5 * sim.Microsecond)
+			got[i] = f.SwitchReduce(p, 7, hcas, i, contrib(i), sumBytes)
+		})
+	}
+	e.Run()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("member %d: switch reduce result differs from member-order oracle", i)
+		}
+	}
+}
+
+// TestSwitchReduceSingleLeaf skips the spine tier when all members hang
+// off one leaf.
+func TestSwitchReduceSingleLeaf(t *testing.T) {
+	const n = 4
+	e, f, hcas := fatTreeHCAs(n, 4, 2)
+	rec := sim.NewRecorder(e)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("member%d", i), func(p *sim.Proc) {
+			f.SwitchReduce(p, 3, hcas, i, []byte{byte(i)}, sumBytes)
+		})
+	}
+	e.Run()
+	seen := map[string]bool{}
+	for _, tk := range rec.Tracks() {
+		for _, sp := range tk.Spans {
+			seen[sp.Name] = true
+		}
+	}
+	if !seen["sharp.leaf"] {
+		t.Fatal("no leaf ALU span recorded")
+	}
+	if seen["sharp.spine"] {
+		t.Fatal("single-leaf reduction should not touch the spine tier")
+	}
+}
+
+// TestSwitchReduceFlatFabricPanics: no switches, no switch reduction.
+func TestSwitchReduceFlatFabricPanics(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFabric(e, DefaultParams())
+	h := f.Attach(pcie.NewNode(e, 0, 1, gpu.KeplerK40(), pcie.DefaultParams()))
+	e.Spawn("member", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("SwitchReduce on a flat fabric did not panic")
+			}
+		}()
+		f.SwitchReduce(p, 0, []*HCA{h}, 0, []byte{1}, sumBytes)
+	})
+	e.Run()
+}
+
+// TestReduceParamsNormalized: the ALU defaults follow the uplink
+// calibration only on hierarchical fabrics.
+func TestReduceParamsNormalized(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.Topo = FatTree(4, 2)
+	f := NewFabric(e, p)
+	got := f.Params().Topo
+	if got.ReduceGBps != got.UplinkGBps {
+		t.Fatalf("ReduceGBps = %v, want uplink rate %v", got.ReduceGBps, got.UplinkGBps)
+	}
+	if got.ReduceLatency != got.HopLatency {
+		t.Fatalf("ReduceLatency = %v, want hop latency %v", got.ReduceLatency, got.HopLatency)
+	}
+	flat := NewFabric(sim.NewEngine(), DefaultParams()).Params().Topo
+	if flat.ReduceGBps != 0 || flat.ReduceLatency != 0 {
+		t.Fatal("flat fabric should not normalize switch-ALU params")
+	}
+}

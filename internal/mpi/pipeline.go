@@ -225,9 +225,9 @@ func (st *senderState) runPackToRing(p *sim.Proc, cmd cmdPackToRing) bool {
 	m := op.M
 	h := p.BeginBytes("mpi.send.ring", op.Packed)
 	defer h.End()
-	proto := &m.w.cfg.Proto
-	frag := proto.FragBytes
-	depth := proto.PipelineDepth
+	tun := &m.w.tun
+	frag := tun.frag
+	depth := tun.depth
 	onGPU := op.Buf.Kind() == mem.Device
 
 	var ring mem.Buffer
@@ -299,7 +299,7 @@ func (st *senderState) runPackDirect(p *sim.Proc, cmd cmdPackDirect) bool {
 		dst = mapped
 	}
 	prod := st.producer()
-	frag := m.w.cfg.Proto.FragBytes
+	frag := m.w.tun.frag
 	var off int64
 	for _, n := range fragPlan(op.Packed, frag) {
 		fh := p.BeginBytes("frag.pack", n)
@@ -325,8 +325,7 @@ func (st *senderState) runSendStaged(p *sim.Proc, cmd cmdSendStaged) bool {
 	m := op.M
 	h := p.BeginBytes("mpi.send.ib", op.Packed)
 	defer h.End()
-	proto := &m.w.cfg.Proto
-	frag := proto.FragBytes
+	frag := m.w.tun.frag
 	frags := fragPlan(op.Packed, frag)
 
 	// Host-contiguous data needs no staging: Put from the user buffer.
@@ -447,7 +446,7 @@ func (s *PipelinedStrategy) recvFromSenderWindow(p *sim.Proc, op *RecvOp, ri *re
 	} else {
 		fc := m.newConsumer(op)
 		var off int64
-		for _, n := range fragPlan(op.Packed, m.w.cfg.Proto.FragBytes) {
+		for _, n := range fragPlan(op.Packed, m.w.tun.frag) {
 			fc.consume(p, src.Slice(off, n), off, n, nil)
 			off += n
 		}
@@ -522,7 +521,7 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 				ring = ev.ring
 			}
 		}
-		frag := m.w.cfg.Proto.FragBytes
+		frag := m.w.tun.frag
 		src := ring.Slice(int64(ev.slot)*frag, ev.n)
 		slot := ev.slot
 		fc.consume(p, src, ev.off, ev.n, func(pp *sim.Proc) {
@@ -541,7 +540,7 @@ func (s *PipelinedStrategy) recvFromRing(p *sim.Proc, op *RecvOp, ri *rendInfo) 
 // protocol only needs Channel.Put semantics, which both BTLs provide.
 func (s *PipelinedStrategy) recvStaged(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 	m := op.M
-	proto := &m.w.cfg.Proto
+	tun := &m.w.tun
 	events := m.w.eng.NewMailbox("recv.ib")
 	st := ri.st
 
@@ -560,8 +559,8 @@ func (s *PipelinedStrategy) recvStaged(p *sim.Proc, op *RecvOp, ri *rendInfo) {
 		return
 	}
 
-	frag := proto.FragBytes
-	depth := proto.PipelineDepth
+	frag := tun.frag
+	depth := tun.depth
 	ringBuf := m.ringBuf(m.ctx.Node().Host(), frag*int64(depth))
 	ring := make([]mem.Buffer, depth)
 	for i := range ring {

@@ -122,12 +122,12 @@ func (m *Rank) isendOn(sp *sim.Proc, buf mem.Buffer, dt *datatype.Datatype, coun
 	packed := int64(count) * dt.Size()
 	ch := m.channel(dest)
 	op := &SendOp{M: m, Buf: buf, Dt: dt, Count: count, Dest: dest, Tag: tag, Packed: packed, Ch: ch, Req: req}
-	if packed <= m.w.cfg.Proto.EagerLimit {
+	if packed <= m.w.tun.eager {
 		m.eagerSend(sp, op)
 		return req
 	}
 	h := sp.BeginBytes("mpi.rts", packed)
-	info := m.w.cfg.Strategy.StartSend(op)
+	info := m.w.tun.strategy.StartSend(op)
 	peer := m.w.ranks[dest]
 	src := m.rank
 	m.seq++
@@ -229,8 +229,8 @@ func (m *Rank) startRecv(op *RecvOp, msg *rtsMsg) {
 	info := msg.info
 	m.w.eng.Spawn(fmt.Sprintf("rank%d.recv.%d", m.rank, msg.src), func(p *sim.Proc) {
 		h := p.BeginBytes("mpi.recv", op.Packed)
-		h.SetDetail(m.w.cfg.Strategy.Name())
-		m.w.cfg.Strategy.RunRecv(p, op, info)
+		h.SetDetail(m.w.tun.strategy.Name())
+		m.w.tun.strategy.RunRecv(p, op, info)
 		h.End()
 	})
 }
@@ -247,7 +247,7 @@ const scratchPoolFloor = 16 << 20
 // request is left pooled, so a small eager message cannot consume a
 // multi-megabyte staging buffer and force its re-allocation.
 func (m *Rank) scratch(n int64) mem.Buffer {
-	floor := m.w.cfg.Proto.EagerLimit
+	floor := m.w.tun.eager
 	if floor > 1<<20 {
 		floor = 1 << 20
 	}

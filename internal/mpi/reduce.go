@@ -33,6 +33,10 @@ func (m *Rank) Reduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count 
 }
 
 func (m *Rank) reduce(p *sim.Proc, tag int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op, root int) {
+	if m.switchOn() && count > 0 {
+		m.switchReduce(p, tag, sendBuf, recvBuf, dt, count, op, root, -1)
+		return
+	}
 	if m.hierOn() && count > 0 {
 		m.hierReduce(p, tag, sendBuf, recvBuf, dt, count, op, root)
 		return
@@ -129,6 +133,12 @@ func (m *Rank) Allreduce(sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, cou
 }
 
 func (m *Rank) allreduce(p *sim.Proc, tagR, tagB int, sendBuf, recvBuf mem.Buffer, dt *datatype.Datatype, count int, op Op) {
+	if m.switchOn() && count > 0 {
+		// The switch multicasts the result to every node's leader on the
+		// way down, so only the intra-node broadcast remains.
+		m.switchReduce(p, tagR, sendBuf, recvBuf, dt, count, op, 0, tagB)
+		return
+	}
 	m.reduce(p, tagR, sendBuf, recvBuf, dt, count, op, 0)
 	m.bcast(p, tagB, recvBuf, dt, count, 0)
 }
@@ -170,7 +180,14 @@ func (m *Rank) combine(p *sim.Proc, acc, other mem.Buffer, prim datatype.Primiti
 	} else {
 		m.ctx.Node().HostBus().Transfer(p, 3*n)
 	}
-	a, b := acc.Bytes(), other.Bytes()
+	combineBytes(acc.Bytes(), other.Bytes(), prim, op)
+}
+
+// combineBytes is the pure byte math of combine: a = a (op) b over
+// packed little-endian primitives. Shared with the in-network switch
+// reduction, which folds contributions without a Rank in sight.
+func combineBytes(a, b []byte, prim datatype.Primitive, op Op) {
+	n := int64(len(a))
 	for off := int64(0); off+8 <= n; off += 8 {
 		switch prim {
 		case datatype.PrimFloat64:

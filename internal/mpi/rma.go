@@ -77,7 +77,7 @@ func (w *Win) Put(origin mem.Buffer, odt *datatype.Datatype, ocount, target int,
 	ch := m.channel(target)
 	internal := &Request{done: m.w.eng.NewFuture()}
 	op := &SendOp{M: m, Buf: origin, Dt: odt, Count: ocount, Dest: target, Tag: -1, Packed: packed, Ch: ch, Req: internal}
-	info := m.w.cfg.Strategy.StartSend(op)
+	info := m.w.tun.strategy.StartSend(op)
 	m.w.eng.Spawn(fmt.Sprintf("rank%d.put.origin", m.rank), func(p *sim.Proc) {
 		internal.Wait(p)
 		mf.done()
@@ -91,7 +91,7 @@ func (w *Win) Put(origin mem.Buffer, odt *datatype.Datatype, ocount, target int,
 		rop := &RecvOp{M: tRank, Buf: tbuf, Dt: tdt, Count: tcount, Src: src, Tag: -1,
 			Packed: packed, Ch: tRank.channel(src), Req: tReq}
 		tRank.w.eng.Spawn(fmt.Sprintf("rank%d.put.target", tRank.rank), func(p *sim.Proc) {
-			tRank.w.cfg.Strategy.RunRecv(p, rop, info)
+			tRank.w.tun.strategy.RunRecv(p, rop, info)
 			// Remote completion notification back to the origin.
 			tRank.channel(src).AM(p, amHeaderBytes, func(*sim.Proc) { mf.done() })
 		})
@@ -118,12 +118,12 @@ func (w *Win) Get(origin mem.Buffer, odt *datatype.Datatype, ocount, target int,
 		internal := &Request{done: tRank.w.eng.NewFuture()}
 		sop := &SendOp{M: tRank, Buf: tbuf, Dt: tdt, Count: tcount, Dest: src, Tag: -1,
 			Packed: packed, Ch: tRank.channel(src), Req: internal}
-		info := tRank.w.cfg.Strategy.StartSend(sop)
+		info := tRank.w.tun.strategy.StartSend(sop)
 		tRank.channel(src).AM(tp, amHeaderBytes, func(*sim.Proc) {
 			rop := &RecvOp{M: m, Buf: origin, Dt: odt, Count: ocount, Src: target, Tag: -1,
 				Packed: packed, Ch: m.channel(target), Req: req}
 			m.w.eng.Spawn(fmt.Sprintf("rank%d.get.origin", m.rank), func(p *sim.Proc) {
-				m.w.cfg.Strategy.RunRecv(p, rop, info)
+				m.w.tun.strategy.RunRecv(p, rop, info)
 			})
 		})
 	})

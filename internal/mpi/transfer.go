@@ -125,7 +125,7 @@ func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack f
 		dev := m.engineFor(fc.op.Buf).Device()
 		direct := src.Kind() == mem.Host ||
 			src.Space() == dev.Mem() ||
-			m.w.cfg.Proto.DirectRemoteUnpack
+			m.w.tun.directRemoteUnpack
 		if direct {
 			_, fut := fc.gpu.UnpackFrom(p, src)
 			fc.lastFut = fut
@@ -135,13 +135,13 @@ func (fc *fragConsumer) consume(p *sim.Proc, src mem.Buffer, off, n int64, ack f
 		// Staged: copy the packed fragment into local device memory
 		// first, then unpack locally (§5.2.1).
 		if !fc.stage.IsValid() {
-			fc.stage = m.ringBuf(dev.Mem(), 2*m.w.cfg.Proto.FragBytes)
+			fc.stage = m.ringBuf(dev.Mem(), 2*m.w.tun.frag)
 		}
 		slot := fc.i % 2
 		if f := fc.stageFut[slot]; f != nil {
 			f.Await(p) // previous unpack from this staging slot
 		}
-		stage := fc.stage.Slice(int64(slot)*m.w.cfg.Proto.FragBytes, n)
+		stage := fc.stage.Slice(int64(slot)*m.w.tun.frag, n)
 		m.mustRetry(p, "frag.stage", func() error {
 			return m.ctx.Memcpy(p, stage, src)
 		})

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuddt/internal/datatype"
+	"gpuddt/internal/mem"
+	"gpuddt/internal/sim"
+)
+
+// twoRankConfig is a minimal two-node world.
+func twoRankConfig() Config {
+	return Config{Ranks: []Placement{{Node: 0}, {Node: 1}}}
+}
+
+// protoSpans runs one 1 KiB host send and returns which protocol spans
+// it produced.
+func protoSpans(t *testing.T, cfg Config) map[string]bool {
+	t.Helper()
+	dt := datatype.Contiguous(128, datatype.Int64)
+	w := NewWorld(cfg)
+	rec := sim.NewRecorder(w.Engine())
+	w.Run(func(m *Rank) {
+		buf := m.MallocHost(dt.Size())
+		if m.Rank() == 0 {
+			mem.FillPattern(buf, 3)
+			m.Send(buf, dt, 1, 1, 9)
+		} else {
+			m.Recv(buf, dt, 1, 0, 9)
+		}
+	})
+	seen := map[string]bool{}
+	for _, tk := range rec.Tracks() {
+		for _, sp := range tk.Spans {
+			seen[sp.Name] = true
+		}
+	}
+	return seen
+}
+
+// TestEagerZeroSentinel is the regression test for the setDefaults
+// zero-value ambiguity: under the legacy ProtoOptions an explicit
+// EagerLimit of 0 silently became the 64 KiB default (chaos tests wrote
+// 1 to approximate "always rendezvous"); Tuning.Eager's pointer makes 0
+// a real setting.
+func TestEagerZeroSentinel(t *testing.T) {
+	// nil Eager: the default, so a 1 KiB message goes eagerly.
+	cfg := twoRankConfig()
+	cfg.Tuning = &Tuning{}
+	if seen := protoSpans(t, cfg); !seen["mpi.eager.send"] || seen["mpi.rts"] {
+		t.Fatal("default tuning did not send a 1 KiB message eagerly")
+	}
+	// Eager(0): genuinely forces rendezvous for every message.
+	cfg = twoRankConfig()
+	cfg.Tuning = &Tuning{Eager: Eager(0)}
+	if seen := protoSpans(t, cfg); seen["mpi.eager.send"] || !seen["mpi.rts"] {
+		t.Fatal("Eager(0) did not force the rendezvous protocol")
+	}
+	// The legacy field cannot express that: EagerLimit 0 resolves to the
+	// default — pinned here so the shim's behavior stays documented.
+	cfg = twoRankConfig()
+	cfg.Proto = ProtoOptions{EagerLimit: 0}
+	if seen := protoSpans(t, cfg); !seen["mpi.eager.send"] {
+		t.Fatal("legacy EagerLimit 0 should still mean the 64 KiB default")
+	}
+}
+
+// TestTuningResolvesLikeProtoOptions proves the deprecation shim: a
+// world built from legacy ProtoOptions/Strategy fields and one built
+// from the equivalent Tuning resolve to identical knobs and identical
+// virtual timelines.
+func TestTuningResolvesLikeProtoOptions(t *testing.T) {
+	run := func(cfg Config) (Tuning, sim.Time, []byte) {
+		dt := datatype.Contiguous(1<<14, datatype.Int64) // 128 KiB: rendezvous
+		w := NewWorld(cfg)
+		var img []byte
+		w.Run(func(m *Rank) {
+			buf := m.MallocHost(dt.Size())
+			if m.Rank() == 0 {
+				mem.FillPattern(buf, 77)
+				m.Send(buf, dt, 1, 1, 5)
+			} else {
+				m.Recv(buf, dt, 1, 0, 5)
+				img = append([]byte(nil), buf.Bytes()...)
+			}
+		})
+		return w.Tuning(), w.Engine().Now(), img
+	}
+
+	legacy := twoRankConfig()
+	legacy.Proto = ProtoOptions{EagerLimit: 1, FragBytes: 8 << 10, PipelineDepth: 2}
+	lt, ltime, limg := run(legacy)
+
+	modern := twoRankConfig()
+	modern.Tuning = &Tuning{Eager: Eager(1), FragBytes: 8 << 10, PipelineDepth: 2}
+	mt, mtime, mimg := run(modern)
+
+	if *lt.Eager != *mt.Eager || lt.FragBytes != mt.FragBytes || lt.PipelineDepth != mt.PipelineDepth ||
+		lt.AMLatency != mt.AMLatency || lt.RemoteAccessEff != mt.RemoteAccessEff || lt.Collectives != mt.Collectives {
+		t.Fatalf("resolved knobs differ: legacy %+v vs tuning %+v", lt, mt)
+	}
+	if ltime != mtime {
+		t.Fatalf("virtual time differs: legacy %v vs tuning %v", ltime, mtime)
+	}
+	if !bytes.Equal(limg, mimg) {
+		t.Fatal("payload differs between legacy and tuning worlds")
+	}
+}
+
+// TestTuningDefaults pins the resolved default knob set — the values
+// every committed golden trace was recorded under.
+func TestTuningDefaults(t *testing.T) {
+	w := NewWorld(twoRankConfig())
+	tun := w.Tuning()
+	if *tun.Eager != 64<<10 || tun.FragBytes != 1<<20 || tun.PipelineDepth != 4 ||
+		tun.AMLatency != 500*sim.Nanosecond || tun.RemoteAccessEff != 0.7 ||
+		tun.Collectives != CollAuto || tun.DirectRemoteUnpack {
+		t.Fatalf("unexpected default tuning: %+v", tun)
+	}
+	if tun.Strategy == nil || tun.Strategy.Name() != (&PipelinedStrategy{}).Name() {
+		t.Fatal("default strategy is not the pipelined one")
+	}
+}
+
+// TestCollModeRoundTrip: the table encoding parses back to itself.
+func TestCollModeRoundTrip(t *testing.T) {
+	for _, c := range []CollMode{CollAuto, CollFlat, CollHier, CollSwitch} {
+		got, ok := ParseCollMode(c.String())
+		if !ok || got != c {
+			t.Fatalf("CollMode %v does not round-trip (got %v, ok %v)", c, got, ok)
+		}
+	}
+	if _, ok := ParseCollMode("bogus"); ok {
+		t.Fatal("bogus mode parsed")
+	}
+}

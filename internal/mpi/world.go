@@ -43,11 +43,23 @@ type Config struct {
 	// Engine configures the GPU datatype engine of every rank.
 	Engine core.Options
 
+	// Tuning bundles every protocol knob — eager threshold, pipeline
+	// geometry, collective algorithm family, transfer strategy. Nil
+	// selects the defaults, or the deprecated Proto/Strategy fields
+	// below when those are set. Construct one via cluster.Spec (which
+	// can load it from a persisted tuning table, see internal/tune).
+	Tuning *Tuning
+
 	// Proto tunes the PML/BTL protocols.
+	//
+	// Deprecated: set Tuning instead. Ignored when Tuning is non-nil.
 	Proto ProtoOptions
 
 	// Strategy overrides the rendezvous data-transfer strategy
 	// (default: the paper's pipelined protocols).
+	//
+	// Deprecated: set Tuning.Strategy instead. Consulted as a fallback
+	// when Tuning is nil or Tuning.Strategy is nil.
 	Strategy Strategy
 
 	// Faults installs a deterministic fault plan on every substrate
@@ -58,6 +70,11 @@ type Config struct {
 }
 
 // ProtoOptions tune the communication protocols.
+//
+// Deprecated: use Tuning. ProtoOptions cannot distinguish an explicit
+// EagerLimit of 0 from "unset" (Tuning.Eager's pointer can) and keeps
+// the collective choice as a lone bool; it remains only so existing
+// configs stay byte-identical.
 type ProtoOptions struct {
 	// EagerLimit is the largest packed size sent eagerly (default 64 KiB).
 	EagerLimit int64
@@ -89,28 +106,11 @@ type ProtoOptions struct {
 	FlatCollectives bool
 }
 
-func (o *ProtoOptions) setDefaults() {
-	if o.EagerLimit == 0 {
-		o.EagerLimit = 64 << 10
-	}
-	if o.FragBytes == 0 {
-		o.FragBytes = 1 << 20
-	}
-	if o.PipelineDepth == 0 {
-		o.PipelineDepth = 4
-	}
-	if o.AMLatency == 0 {
-		o.AMLatency = 500 * sim.Nanosecond
-	}
-	if o.RemoteAccessEff == 0 {
-		o.RemoteAccessEff = 0.7
-	}
-}
-
 // World is a running simulated MPI job.
 type World struct {
 	eng    *sim.Engine
 	cfg    Config
+	tun    resolvedTuning // effective knobs; see resolveTuning
 	nodes  []*pcie.Node
 	fabric *ib.Fabric
 	hcas   []*ib.HCA
@@ -155,7 +155,7 @@ func detectHierarchy(ranks []Placement) hierarchy {
 // TopologyAware reports whether the world's collectives run the
 // hierarchical (leader-based) algorithms rather than the flat ones.
 func (w *World) TopologyAware() bool {
-	return w.hier.nodes > 1 && w.hier.rpn > 1 && !w.cfg.Proto.FlatCollectives
+	return w.hier.nodes > 1 && w.hier.rpn > 1 && w.tun.coll != CollFlat
 }
 
 // NewWorld builds the cluster and one Rank per placement.
@@ -187,9 +187,8 @@ func NewWorld(cfg Config) *World {
 	if cfg.IB.WireGBps == 0 {
 		cfg.IB = ib.DefaultParams()
 	}
-	cfg.Proto.setDefaults()
-
 	w := &World{eng: sim.NewEngine(), cfg: cfg}
+	w.tun = resolveTuning(&cfg)
 	w.hier = detectHierarchy(cfg.Ranks)
 	w.faults = fault.NewInjector(cfg.Faults)
 	w.fabric = ib.NewFabric(w.eng, cfg.IB)
@@ -199,10 +198,6 @@ func NewWorld(cfg Config) *World {
 		node.SetFaults(w.faults)
 		w.nodes = append(w.nodes, node)
 		w.hcas = append(w.hcas, w.fabric.Attach(node))
-	}
-	if cfg.Strategy == nil {
-		cfg.Strategy = &PipelinedStrategy{}
-		w.cfg.Strategy = cfg.Strategy
 	}
 	for r, pl := range cfg.Ranks {
 		if pl.Node >= cfg.Nodes || pl.GPU >= cfg.GPUsPerNode {
